@@ -1,0 +1,24 @@
+"""Ablation benchmarks: the design-choice studies from DESIGN.md.
+
+Each regenerates one ablation table (layers / intervals / entropy stage /
+quantization scheme) at the configured scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.ablation import ABLATIONS
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation(benchmark, bench_scale, name):
+    runner = ABLATIONS[name]
+    table = benchmark.pedantic(
+        runner, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    assert table.rows

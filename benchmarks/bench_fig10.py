@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig10 (see repro.experiments.fig10)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig10(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig10", bench_scale)
+    assert table.rows

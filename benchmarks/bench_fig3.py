@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig3 (see repro.experiments.fig3)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig3(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig3", bench_scale)
+    assert table.rows

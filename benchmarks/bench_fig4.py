@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig4 (see repro.experiments.fig4)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig4(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig4", bench_scale)
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig6 (see repro.experiments.fig6)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig6(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig6", bench_scale)
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig7 (see repro.experiments.fig7)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig7(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig7", bench_scale)
+    assert table.rows

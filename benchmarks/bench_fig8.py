@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig8 (see repro.experiments.fig8)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig8(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig8", bench_scale)
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Regenerate the paper's fig9 (see repro.experiments.fig9)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_fig9(benchmark, bench_scale):
+    table = regenerate(benchmark, "fig9", bench_scale)
+    assert table.rows

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the hot kernels behind the compressor.
+
+These run with pytest-benchmark's normal multi-round statistics (unlike
+the experiment regenerations, which are one-shot), making them useful for
+tracking performance regressions of the substrates themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.core.quantizer import interval_radius
+from repro.core.wavefront import WavefrontPlan, wavefront_compress
+from repro.datasets import load
+from repro.encoding.bitio import pack_varlen, unpack_varlen
+from repro.encoding.huffman import HuffmanCodec
+
+
+@pytest.fixture(scope="module")
+def field():
+    return load("ATM", scale="small")["FREQSH"]
+
+
+@pytest.fixture(scope="module")
+def symbols():
+    rng = np.random.default_rng(0)
+    # mimics a quantization-code stream: strong center peak
+    return np.clip(
+        np.rint(128 + 6 * rng.standard_normal(1_000_000)), 0, 255
+    ).astype(np.int64)
+
+
+class TestEncodingKernels:
+    def test_pack_varlen_uniform(self, benchmark):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**16, 1_000_000, dtype=np.uint64)
+        lengths = np.full(1_000_000, 16, dtype=np.int64)
+        buf, nbits = benchmark(pack_varlen, values, lengths)
+        assert nbits == 16_000_000
+
+    def test_pack_varlen_variable(self, benchmark):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(1, 24, 500_000)
+        values = rng.integers(0, 2, 500_000, dtype=np.uint64)
+        benchmark(pack_varlen, values, lengths)
+
+    def test_unpack_varlen(self, benchmark):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(1, 24, 200_000)
+        values = rng.integers(0, 2, 200_000, dtype=np.uint64)
+        buf, _ = pack_varlen(values, lengths)
+        out = benchmark(unpack_varlen, buf, lengths)
+        assert out.size == 200_000
+
+    def test_huffman_encode(self, benchmark, symbols):
+        codec = HuffmanCodec.from_symbols(symbols, 256)
+        stream = benchmark(codec.encode, symbols)
+        assert stream.n_symbols == symbols.size
+
+    def test_huffman_decode(self, benchmark, symbols):
+        codec = HuffmanCodec.from_symbols(symbols, 256)
+        stream = codec.encode(symbols)
+        out = benchmark(codec.decode, stream)
+        assert np.array_equal(out, symbols)
+
+
+class TestCompressorKernels:
+    def test_wavefront_compress(self, benchmark, field):
+        plan = WavefrontPlan(field.shape, 1)
+        eb = 1e-4 * float(field.max() - field.min())
+        res = benchmark(wavefront_compress, field, eb, plan, interval_radius(8))
+        assert res.hit_rate > 0.5
+
+    def test_sz14_end_to_end_compress(self, benchmark, field):
+        blob = benchmark(compress, field, rel_bound=1e-4)
+        assert len(blob) < field.nbytes
+
+    def test_sz14_end_to_end_decompress(self, benchmark, field):
+        blob = compress(field, rel_bound=1e-4)
+        out = benchmark(decompress, blob)
+        assert out.shape == field.shape
+
+
+class TestBaselineKernels:
+    def test_zfp_compress(self, benchmark, field):
+        from repro.baselines import ZFPLike
+
+        z = ZFPLike(mode="accuracy", tolerance=1e-4)
+        blob = benchmark(z.compress, field)
+        assert len(blob) < field.nbytes
+
+    def test_fpzip_compress(self, benchmark, field):
+        from repro.baselines import FPZIPLike
+
+        blob = benchmark(FPZIPLike().compress, field)
+        assert len(blob) < field.nbytes

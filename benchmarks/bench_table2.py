@@ -1,0 +1,8 @@
+"""Regenerate the paper's table2 (see repro.experiments.table2)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table2(benchmark, bench_scale):
+    table = regenerate(benchmark, "table2", bench_scale)
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Regenerate the paper's table3 (see repro.experiments.table3)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table3(benchmark, bench_scale):
+    table = regenerate(benchmark, "table3", bench_scale)
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Regenerate the paper's table4 (see repro.experiments.table4)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table4(benchmark, bench_scale):
+    table = regenerate(benchmark, "table4", bench_scale)
+    assert table.rows

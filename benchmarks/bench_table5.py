@@ -1,0 +1,8 @@
+"""Regenerate the paper's table5 (see repro.experiments.table5)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table5(benchmark, bench_scale):
+    table = regenerate(benchmark, "table5", bench_scale)
+    assert table.rows

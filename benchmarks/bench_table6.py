@@ -1,0 +1,8 @@
+"""Regenerate the paper's table6 (see repro.experiments.table6)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table6(benchmark, bench_scale):
+    table = regenerate(benchmark, "table6", bench_scale)
+    assert table.rows

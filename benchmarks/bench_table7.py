@@ -1,0 +1,8 @@
+"""Regenerate the paper's table7 (see repro.experiments.table7)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table7(benchmark, bench_scale):
+    table = regenerate(benchmark, "table7", bench_scale)
+    assert table.rows

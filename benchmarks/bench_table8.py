@@ -1,0 +1,8 @@
+"""Regenerate the paper's table8 (see repro.experiments.table8)."""
+
+from conftest import regenerate
+
+
+def test_regenerate_table8(benchmark, bench_scale):
+    table = regenerate(benchmark, "table8", bench_scale)
+    assert table.rows

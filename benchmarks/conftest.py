@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` selects the data scale (tiny/small/paper; default
+small).  Each ``bench_<artifact>.py`` regenerates one table/figure of the
+paper and prints its rows; micro-benchmarks time the hot kernels.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def regenerate(benchmark, name: str, scale: str, **kwargs):
+    """Run one experiment exactly once under the benchmark timer and print
+    the regenerated table."""
+    from repro.experiments import run_experiment
+
+    table = benchmark.pedantic(
+        run_experiment,
+        args=(name,),
+        kwargs={"scale": scale, **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table)
+    return table

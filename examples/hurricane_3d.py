@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""3-D example: SZ-1.4 vs ZFP-like rate-distortion on hurricane fields.
+
+Reproduces the Fig. 8(c) story on one wind component: SZ-1.4 wins above
+~2 bits/value, ZFP-like is competitive at very low rates.
+
+Run:  python examples/hurricane_3d.py
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import ZFPLike
+from repro.datasets import hurricane_dataset
+from repro.metrics import psnr
+
+
+def main() -> None:
+    field = hurricane_dataset(shape=(24, 96, 96), seed=0)["U"]
+    print(f"field: U wind component {field.shape} float32 "
+          f"({field.nbytes / 1e6:.1f} MB)\n")
+
+    print("SZ-1.4 (error-bounded):")
+    print(f"  {'eb_rel':>8s} {'bits/val':>8s} {'PSNR dB':>8s}")
+    for eb in (1e-2, 1e-3, 1e-4, 1e-5):
+        blob = repro.compress(field, rel_bound=eb)
+        out = repro.decompress(blob)
+        print(f"  {eb:8.0e} {8 * len(blob) / field.size:8.2f} "
+              f"{psnr(field, out):8.1f}")
+
+    print("\nZFP-like (fixed-rate):")
+    print(f"  {'rate':>8s} {'bits/val':>8s} {'PSNR dB':>8s}")
+    for rate in (1, 2, 4, 8):
+        z = ZFPLike(mode="rate", rate=rate)
+        blob = z.compress(field)
+        out = z.decompress(blob)
+        print(f"  {rate:8d} {8 * len(blob) / field.size:8.2f} "
+              f"{psnr(field, out):8.1f}")
+
+    print("\ntip: compare PSNR at matching bits/value — the 3-D multilayer "
+          "predictor gives SZ-1.4 the edge at moderate-to-high rates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Parallel compression example (paper Section VI).
+
+Measures real process-pool strong scaling on this machine, then extends
+to the paper's 1024-process Blues configuration with the cluster model
+and shows when compression starts paying for itself in I/O time.
+
+Run:  python examples/parallel_throughput.py
+"""
+
+import os
+
+from repro.datasets import atm_dataset
+from repro.parallel import BluesClusterModel, ParallelIOModel
+from repro.parallel.pool import measure_pool_scaling
+
+
+def main() -> None:
+    data = atm_dataset(shape=(384, 768), seed=0)["FREQSH"]
+    cores = os.cpu_count() or 1
+    counts = [p for p in (1, 2, 4, 8) if p <= cores]
+
+    print(f"measured pool scaling on this machine ({cores} cores):")
+    rows = measure_pool_scaling(data, counts, rel_bound=1e-4)
+    print(f"  {'procs':>5s} {'MB/s':>8s} {'speedup':>8s} {'eff':>6s}")
+    for r in rows:
+        print(f"  {r['processes']:5d} {r['comp_speed_mb_s']:8.1f} "
+              f"{r['speedup']:8.2f} {r['efficiency']:6.1%}")
+
+    single_gb_s = rows[0]["comp_speed_mb_s"] / 1000.0
+    print("\nBlues cluster model seeded with the measured single-process "
+          f"speed ({single_gb_s * 1000:.1f} MB/s):")
+    model = BluesClusterModel()
+    print(f"  {'procs':>5s} {'GB/s':>8s} {'eff':>6s}")
+    for row in model.strong_scaling([1, 16, 128, 512, 1024], single_gb_s):
+        print(f"  {row.processes:5d} {row.speed_gb_s:8.2f} "
+              f"{row.efficiency:6.1%}")
+
+    print("\nwhen does compression reduce total I/O time? (Fig. 10 model)")
+    io = ParallelIOModel()
+    for b in io.sweep([1, 8, 32, 256, 1024], codec_single_gb_s=single_gb_s):
+        verdict = "pays off" if b.compression_pays_off else "does not pay"
+        print(f"  {b.processes:5d} procs: codec {b.shares[0]:5.1%}, "
+              f"compressed I/O {b.shares[1]:5.1%}, "
+              f"initial I/O {b.shares[2]:5.1%} -> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: compress a scientific field with a guaranteed error bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.metrics import max_abs_error, pearson, psnr
+
+
+def main() -> None:
+    # A synthetic "simulation snapshot": smooth structure + sharp features.
+    y, x = np.mgrid[0:400, 0:600] / 60.0
+    data = (
+        np.sin(x) * np.cos(y)
+        + 0.4 * np.tanh(5 * np.sin(0.7 * x + 1.3 * y))
+    ).astype(np.float32)
+
+    # Compress with a value-range-based relative error bound of 1e-4
+    # (paper Metric 1): every point of the reconstruction is guaranteed
+    # within 1e-4 * (max - min) of the original.
+    blob, stats = repro.compress_with_stats(data, rel_bound=1e-4)
+    out = repro.decompress(blob)
+
+    eb = 1e-4 * float(data.max() - data.min())
+    print(f"original size      : {data.nbytes:,} bytes")
+    print(f"compressed size    : {stats.compressed_bytes:,} bytes")
+    print(f"compression factor : {stats.compression_factor:.2f}x")
+    print(f"bit rate           : {stats.bit_rate:.2f} bits/value")
+    print(f"prediction hit rate: {stats.hit_rate:.1%}")
+    print(f"error bound        : {eb:.3e}")
+    print(f"max abs error      : {max_abs_error(data, out):.3e}")
+    print(f"PSNR               : {psnr(data, out):.1f} dB")
+    print(f"Pearson rho        : {pearson(data, out):.7f}")
+    assert max_abs_error(data, out) <= eb, "bound violated?!"
+    print("error bound holds for every point ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""X-ray detector example: spiky data and the adaptive interval scheme.
+
+APS-like diffraction frames are the paper's "sharp or spiky changes in
+small data regions" regime: Bragg peaks are thousands of times brighter
+than the background.  Curve-fitting compressors lose here; error-
+controlled quantization with enough intervals does not.
+
+Run:  python examples/xray_aps.py
+"""
+
+import numpy as np
+
+import repro
+from repro.baselines import SZ11
+from repro.datasets import aps_like
+from repro.metrics import max_rel_error
+
+
+def main() -> None:
+    frame = aps_like(shape=(512, 512), seed=0)
+    print(f"frame: {frame.shape}, background ~{np.median(frame):.1f}, "
+          f"brightest peak {frame.max():.0f} "
+          f"({frame.max() / np.median(frame):.0f}x the median)\n")
+
+    rel = 1e-4
+    print(f"value-range-based relative bound: {rel:g}\n")
+
+    print(f"{'compressor':28s} {'CF':>7s} {'max e_rel':>10s}")
+    for m in (4, 8, 12):
+        blob, stats = repro.compress_with_stats(
+            frame, rel_bound=rel, interval_bits=m
+        )
+        out = repro.decompress(blob)
+        label = f"SZ-1.4, {(1 << m) - 1} intervals"
+        print(f"{label:28s} {stats.compression_factor:7.2f} "
+              f"{max_rel_error(frame, out):10.2e}   "
+              f"(hit rate {stats.hit_rate:.1%})")
+
+    sz11 = SZ11(rel_bound=rel)
+    blob11 = sz11.compress(frame)
+    out11 = sz11.decompress(blob11)
+    print(f"{'SZ-1.1 (1-D curve fitting)':28s} "
+          f"{frame.nbytes / len(blob11):7.2f} "
+          f"{max_rel_error(frame, out11):10.2e}")
+
+    print("\nnote: more intervals rescue the hitting rate around peaks "
+          "(Sec. IV-B); the 1-D curve-fitting baseline cannot exploit 2-D "
+          "structure at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — reproduction of SZ-1.4 (Tao, Di, Chen, Cappello, IPDPS 2017).
+
+Error-bounded lossy compression for scientific floating-point data via
+multidimensional multilayer prediction and adaptive error-controlled
+quantization, with every baseline the paper evaluates against built from
+scratch on shared substrates.
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> data = np.sin(np.linspace(0, 20, 10000)).reshape(100, 100).astype(np.float32)
+>>> blob = repro.compress(data, rel_bound=1e-4)
+>>> out = repro.decompress(blob)
+>>> assert abs(out - data).max() <= 1e-4 * (data.max() - data.min())
+"""
+
+from repro.core import (
+    CompressionStats,
+    SZ14Compressor,
+    compress,
+    compress_with_stats,
+    decompress,
+)
+
+__version__ = "1.4.0"
+
+__all__ = [
+    "CompressionStats",
+    "SZ14Compressor",
+    "compress",
+    "compress_with_stats",
+    "decompress",
+    "__version__",
+]

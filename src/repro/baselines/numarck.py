@@ -1,0 +1,115 @@
+"""NUMARCK/SSEM-style vector-quantization baseline ([6], [16]).
+
+Related-work compressors the paper contrasts with: they quantize the
+*distribution* of changes between snapshots into a learned codebook
+(k-means / quantile bins).  Because bins in the tails are wide, the
+point-wise error is **not bounded** — exactly the deficiency the paper's
+error-controlled quantization fixes.  This module exists to demonstrate
+that contrast in the ablation benchmarks.
+
+``NumarckLike`` quantizes per-point deltas between two snapshots (or the
+values themselves when no previous snapshot is given) into ``2^bits``
+quantile bins, storing bin indices plus the codebook of bin centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitio import BitReader, BitWriter, pack_varlen, unpack_varlen
+
+__all__ = ["NumarckLike"]
+
+_MAGIC = 0x524E4D43  # 'RNMC'
+
+
+class NumarckLike:
+    """Quantile-codebook delta quantizer with unbounded point-wise error."""
+
+    name = "NUMARCK-like"
+
+    def __init__(self, bits: int = 8, iterations: int = 8) -> None:
+        if not 2 <= bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+        self.bits = bits
+        self.iterations = iterations  # Lloyd refinement steps
+
+    def _codebook(self, deltas: np.ndarray) -> np.ndarray:
+        """Quantile-initialized 1-D k-means codebook (Lloyd's algorithm)."""
+        k = 1 << self.bits
+        qs = np.linspace(0, 1, k)
+        centers = np.quantile(deltas, qs)
+        centers = np.unique(centers)
+        for _ in range(self.iterations):
+            edges = (centers[1:] + centers[:-1]) / 2
+            idx = np.searchsorted(edges, deltas)
+            sums = np.bincount(idx, weights=deltas, minlength=centers.size)
+            counts = np.bincount(idx, minlength=centers.size)
+            nonempty = counts > 0
+            new = centers.copy()
+            new[nonempty] = sums[nonempty] / counts[nonempty]
+            if np.allclose(new, centers):
+                break
+            centers = new
+        return centers
+
+    def compress(
+        self, data: np.ndarray, previous: np.ndarray | None = None
+    ) -> bytes:
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            raise TypeError(f"only float32/float64 supported, got {data.dtype}")
+        base = (
+            np.zeros_like(data, dtype=np.float64)
+            if previous is None
+            else np.asarray(previous, dtype=np.float64)
+        )
+        if base.shape != data.shape:
+            raise ValueError("previous snapshot shape mismatch")
+        deltas = data.astype(np.float64).reshape(-1) - base.reshape(-1)
+        centers = self._codebook(deltas)
+        edges = (centers[1:] + centers[:-1]) / 2
+        idx = np.searchsorted(edges, deltas).astype(np.uint64)
+        nbits = max(1, int(np.ceil(np.log2(max(centers.size, 2)))))
+        idx_buf, _ = pack_varlen(idx, np.full(idx.size, nbits, dtype=np.int64))
+
+        w = BitWriter()
+        w.write(_MAGIC, 32)
+        w.write(0 if data.dtype == np.float32 else 1, 8)
+        w.write(data.ndim, 8)
+        w.write(nbits, 8)
+        w.write(centers.size, 32)
+        for s in data.shape:
+            w.write(int(s), 48)
+        head = w.getvalue()
+        out = bytearray(head)
+        out += centers.astype(np.float64).tobytes()
+        out += idx_buf.tobytes()
+        return bytes(out)
+
+    def decompress(
+        self, blob: bytes, previous: np.ndarray | None = None
+    ) -> np.ndarray:
+        r = BitReader(blob)
+        if r.read(32) != _MAGIC:
+            raise ValueError("not a NUMARCK-like container")
+        dtype = np.dtype(np.float32 if r.read(8) == 0 else np.float64)
+        ndim = r.read(8)
+        nbits = r.read(8)
+        k = r.read(32)
+        shape = tuple(r.read(48) for _ in range(ndim))
+        pos = (r.bitpos + 7) // 8
+        centers = np.frombuffer(blob, np.float64, k, pos)
+        pos += k * 8
+        n = int(np.prod(shape))
+        idx = unpack_varlen(
+            np.frombuffer(blob, np.uint8, len(blob) - pos, pos),
+            np.full(n, nbits, dtype=np.int64),
+        ).astype(np.int64)
+        deltas = centers[idx]
+        base = (
+            np.zeros(n, dtype=np.float64)
+            if previous is None
+            else np.asarray(previous, dtype=np.float64).reshape(-1)
+        )
+        return (base + deltas).reshape(shape).astype(dtype)

@@ -1,0 +1,144 @@
+"""Command-line interface: ``repro-sz``.
+
+Subcommands
+-----------
+``list``
+    Show registered experiments.
+``run EXPERIMENT [--scale tiny|small|paper]``
+    Run one experiment (or ``all``) and print its table.
+``compress IN.npy OUT.sz [--rel 1e-4 | --abs EB] [--layers N] [--bits M]``
+    Compress a NumPy array file.
+``decompress IN.sz OUT.npy``
+    Decompress a container back to ``.npy``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import compress_with_stats, decompress
+from repro.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    for name, exp in EXPERIMENTS.items():
+        print(f"{name:8s} {exp.paper_artifact:12s} {exp.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        table = run_experiment(name, scale=args.scale)
+        elapsed = time.perf_counter() - t0
+        print(table)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input)
+    blob, stats = compress_with_stats(
+        data,
+        abs_bound=args.abs_bound,
+        rel_bound=args.rel_bound,
+        layers=args.layers,
+        interval_bits=args.bits,
+        adaptive=args.adaptive,
+    )
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    print(
+        f"{args.input}: {stats.original_bytes} -> {stats.compressed_bytes} bytes "
+        f"(CF {stats.compression_factor:.2f}, {stats.bit_rate:.2f} bits/value, "
+        f"hit rate {stats.hit_rate:.1%})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    data = decompress(blob)
+    np.save(args.output, data)
+    print(f"{args.input}: restored {data.shape} {data.dtype} -> {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.core import container_info
+
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    for key, value in container_info(blob).items():
+        print(f"{key:18s} {value}")
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments.ablation import ABLATIONS
+
+    names = list(ABLATIONS) if args.study == "all" else [args.study]
+    for name in names:
+        print(ABLATIONS[name](scale=args.scale))
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-sz",
+        description="SZ-1.4 reproduction: error-bounded lossy compression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run an experiment")
+    p_run.add_argument("experiment", choices=list(EXPERIMENTS) + ["all"])
+    p_run.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "paper"])
+    p_run.set_defaults(func=_cmd_run)
+
+    p_c = sub.add_parser("compress", help="compress a .npy array")
+    p_c.add_argument("input")
+    p_c.add_argument("output")
+    p_c.add_argument("--rel", dest="rel_bound", type=float, default=None)
+    p_c.add_argument("--abs", dest="abs_bound", type=float, default=None)
+    p_c.add_argument("--layers", type=int, default=1)
+    p_c.add_argument("--bits", type=int, default=8)
+    p_c.add_argument("--adaptive", action="store_true")
+    p_c.set_defaults(func=_cmd_compress)
+
+    p_d = sub.add_parser("decompress", help="decompress a container")
+    p_d.add_argument("input")
+    p_d.add_argument("output")
+    p_d.set_defaults(func=_cmd_decompress)
+
+    p_i = sub.add_parser("info", help="inspect a container header")
+    p_i.add_argument("input")
+    p_i.set_defaults(func=_cmd_info)
+
+    p_a = sub.add_parser("ablation", help="run a design-choice ablation")
+    from repro.experiments.ablation import ABLATIONS
+
+    p_a.add_argument("study", choices=list(ABLATIONS) + ["all"])
+    p_a.add_argument("--scale", default="small",
+                     choices=["tiny", "small", "paper"])
+    p_a.set_defaults(func=_cmd_ablation)
+
+    args = parser.parse_args(argv)
+    if args.command == "compress" and args.rel_bound is None and args.abs_bound is None:
+        args.rel_bound = 1e-4
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

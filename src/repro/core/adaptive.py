@@ -1,0 +1,112 @@
+"""Adaptive scheme for the number of quantization intervals (Section IV-B).
+
+The paper observes (Fig. 4) that the prediction hitting rate collapses at
+an error bound that depends on the interval count: more intervals cover
+tighter bounds, but each code costs more bits, so the right ``m`` is the
+smallest one keeping the hitting rate above a threshold θ (default 0.99).
+
+Two entry points:
+
+* :func:`estimate_hit_rate` — cheap subsampled estimate for a candidate
+  ``m`` without running the full compressor;
+* :func:`suggest_interval_bits` — scan candidate ``m`` values and return
+  the smallest that clears θ, which is what the compressor's
+  ``adaptive=True`` mode uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictor import predict_from_original
+from repro.core.quantizer import interval_radius
+
+__all__ = [
+    "estimate_hit_rate",
+    "suggest_interval_bits",
+    "suggest_layers",
+    "DEFAULT_THETA",
+]
+
+DEFAULT_THETA = 0.99
+
+
+def _subsample(data: np.ndarray, limit: int) -> np.ndarray:
+    """Deterministic strided subsample keeping spatial structure per axis."""
+    if data.size <= limit:
+        return data
+    step = max(1, int(np.ceil((data.size / limit) ** (1.0 / data.ndim))))
+    return data[tuple(slice(None, None, step) for _ in range(data.ndim))]
+
+
+def estimate_hit_rate(
+    data: np.ndarray,
+    eb: float,
+    interval_bits: int,
+    layers: int = 1,
+    sample_limit: int = 65536,
+) -> float:
+    """Estimated prediction hitting rate for the given interval count.
+
+    Uses prediction from *original* values on a subsample.  This slightly
+    overestimates the decompressed-value hitting rate (Table II shows the
+    original-value rate is an upper bound in practice), which is fine for
+    choosing ``m``: the collapse point in Fig. 4 moves very little.
+    """
+    if eb <= 0:
+        raise ValueError("error bound must be positive")
+    sample = _subsample(np.asarray(data), sample_limit)
+    pred = predict_from_original(sample, layers)
+    qoff = np.rint((sample.astype(np.float64) - pred) / (2.0 * eb))
+    radius = interval_radius(interval_bits)
+    hits = np.abs(qoff) < radius
+    hits &= np.isfinite(sample)
+    return float(hits.mean())
+
+
+def suggest_layers(
+    data: np.ndarray,
+    eb: float,
+    candidates: tuple[int, ...] = (1, 2, 3),
+    sample_limit: int = 16384,
+) -> int:
+    """Pick the layer count with the best *in-loop* hitting rate.
+
+    Table II's lesson is that the right n must be judged on preceding
+    *decompressed* values, not originals, so this runs the real wavefront
+    kernel (center interval only) on a subsample per candidate.  The
+    paper leaves n as a user switch with default 1; this helper automates
+    the choice for users who want it.
+    """
+    from repro.core.wavefront import WavefrontPlan, wavefront_compress
+
+    if eb <= 0:
+        raise ValueError("error bound must be positive")
+    sample = _subsample(np.asarray(data), sample_limit)
+    best_n, best_rate = candidates[0], -1.0
+    for n in candidates:
+        plan = WavefrontPlan(sample.shape, n)
+        rate = wavefront_compress(sample, eb, plan, radius=1).hit_rate
+        if rate > best_rate + 1e-12:
+            best_n, best_rate = n, rate
+    return best_n
+
+
+def suggest_interval_bits(
+    data: np.ndarray,
+    eb: float,
+    layers: int = 1,
+    theta: float = DEFAULT_THETA,
+    candidates: tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16),
+    sample_limit: int = 65536,
+) -> int:
+    """Smallest ``m`` whose estimated hitting rate clears ``theta``.
+
+    Falls back to the largest candidate when none clears the threshold
+    (the paper: "our compression algorithm will suggest that the user
+    increases the number of quantization intervals").
+    """
+    for m in candidates:
+        if estimate_hit_rate(data, eb, m, layers, sample_limit) >= theta:
+            return m
+    return candidates[-1]

@@ -1,0 +1,397 @@
+"""SZ-1.4 public compression API (paper Algorithm 1, Fig. 5).
+
+Pipeline: multilayer prediction (Section III) → error-controlled
+quantization (Section IV-A) → canonical Huffman variable-length encoding
+(Section IV-A) → container.  Unpredictable values are stored via
+binary-representation analysis.  Both absolute and value-range-based
+relative error bounds are supported; when both are given the tighter one
+wins (``|e_abs| < eb_abs`` **and** ``|e_rel| < eb_rel``).
+
+>>> import numpy as np
+>>> from repro.core import compress, decompress
+>>> data = np.sin(np.linspace(0, 20, 10000)).reshape(100, 100).astype(np.float32)
+>>> blob = compress(data, rel_bound=1e-4)
+>>> out = decompress(blob)
+>>> bool(np.max(np.abs(out - data)) <= 1e-4 * (data.max() - data.min()))
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptive import DEFAULT_THETA
+from repro.core.lossless_post import unwrap, wrap
+from repro.core.quantizer import interval_radius, num_intervals
+from repro.core.stream import (
+    FLAG_ARITHMETIC,
+    FLAG_CONSTANT,
+    Header,
+    read_container,
+    write_container,
+)
+from repro.core.unpredictable import decode_unpredictable, encode_unpredictable
+from repro.core.wavefront import (
+    WavefrontPlan,
+    wavefront_compress,
+    wavefront_decompress,
+)
+from repro.encoding.huffman import HuffmanCodec
+
+__all__ = [
+    "CompressionStats",
+    "SZ14Compressor",
+    "compress",
+    "compress_with_stats",
+    "container_info",
+    "decompress",
+]
+
+_MAX_INTERVAL_BITS = 16
+_PLAN_CACHE: dict[tuple, WavefrontPlan] = {}
+
+
+@dataclass
+class CompressionStats:
+    """Diagnostics from one compression run."""
+
+    eb_abs: float
+    value_range: float
+    layers: int
+    interval_bits: int
+    hit_rate: float
+    n_unpredictable: int
+    original_bytes: int
+    compressed_bytes: int
+    elapsed_seconds: float
+    code_histogram: np.ndarray = field(repr=False, default=None)
+    adaptive_attempts: int = 1
+    itemsize: int = 4
+
+    @property
+    def n_values(self) -> int:
+        return self.original_bytes // self.itemsize
+
+    @property
+    def compression_factor(self) -> float:
+        return self.original_bytes / max(1, self.compressed_bytes)
+
+    @property
+    def bit_rate(self) -> float:
+        """Amortized bits per value (paper Eq. 6)."""
+        return 8.0 * self.compressed_bytes / max(1, self.n_values)
+
+
+def _resolve_bound(
+    data: np.ndarray, abs_bound: float | None, rel_bound: float | None
+) -> tuple[float, float]:
+    """Effective absolute bound and value range from the user's bounds."""
+    finite = data[np.isfinite(data)]
+    if finite.size:
+        value_range = float(finite.max() - finite.min())
+    else:
+        value_range = 0.0
+    candidates = []
+    if abs_bound is not None:
+        if abs_bound <= 0:
+            raise ValueError("abs_bound must be positive")
+        candidates.append(float(abs_bound))
+    if rel_bound is not None:
+        if rel_bound <= 0:
+            raise ValueError("rel_bound must be positive")
+        candidates.append(float(rel_bound) * value_range)
+    if not candidates:
+        raise ValueError("provide abs_bound and/or rel_bound")
+    eb = min(candidates)
+    return eb, value_range
+
+
+def _get_plan(shape: tuple[int, ...], layers: int) -> WavefrontPlan:
+    key = (shape, layers)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) > 32:
+            _PLAN_CACHE.clear()
+        plan = WavefrontPlan(shape, layers)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def compress_with_stats(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+    layers: int = 1,
+    interval_bits: int = 8,
+    adaptive: bool = False,
+    theta: float = DEFAULT_THETA,
+    block_size: int = 4096,
+    entropy_coder: str = "huffman",
+    lossless_post: bool = False,
+) -> tuple[bytes, CompressionStats]:
+    """Compress ``data`` and return ``(container bytes, diagnostics)``.
+
+    Parameters
+    ----------
+    data
+        1-, 2- or 3-dimensional (any-d supported) float32/float64 array.
+    abs_bound, rel_bound
+        Absolute and/or value-range-based relative error bounds.  At least
+        one is required; with both, the tighter effective bound is used.
+    layers
+        Prediction layers ``n`` (paper default 1; best layer is
+        data-dependent, see Table II).
+    interval_bits
+        ``m``: the encoder uses ``2^m - 1`` quantization intervals.
+    adaptive
+        Retry with more intervals while the hitting rate is below
+        ``theta`` (automated form of the paper's Section IV-B advice).
+    theta
+        Hitting-rate threshold for ``adaptive``.
+    block_size
+        Huffman chunk size (parallel-decode granularity).
+    entropy_coder
+        ``"huffman"`` (the paper's variable-length encoder, default) or
+        ``"arithmetic"`` — an out-of-paper extension using the adaptive
+        range coder (slower; removes Huffman's integer-bit rounding loss).
+    lossless_post
+        Run the finished container through the DEFLATE-like codec (SZ's
+        optional gzip pipe); kept only when it actually shrinks.
+    """
+    if entropy_coder not in ("huffman", "arithmetic"):
+        raise ValueError(f"unknown entropy coder {entropy_coder!r}")
+    data = np.asarray(data)
+    if data.dtype not in (np.float32, np.float64):
+        raise TypeError(f"only float32/float64 supported, got {data.dtype}")
+    if data.ndim < 1:
+        raise ValueError("scalar input not supported")
+    if data.size == 0:
+        raise ValueError("empty input not supported")
+    t0 = time.perf_counter()
+    eb, value_range = _resolve_bound(data, abs_bound, rel_bound)
+
+    if value_range == 0.0 and np.isfinite(data).all():
+        # Constant field: a single value describes the array exactly.
+        header = Header(
+            data.dtype, data.shape, interval_bits, layers, eb, 0.0, 0,
+            flags=FLAG_CONSTANT,
+        )
+        blob = write_container(header, None, None, b"", float(data.flat[0]))
+        stats = CompressionStats(
+            eb_abs=eb, value_range=0.0, layers=layers,
+            interval_bits=interval_bits, hit_rate=1.0, n_unpredictable=0,
+            original_bytes=data.nbytes, compressed_bytes=len(blob),
+            elapsed_seconds=time.perf_counter() - t0,
+            code_histogram=np.zeros(1, dtype=np.int64),
+        )
+        stats.itemsize = data.dtype.itemsize
+        return blob, stats
+    if eb == 0.0:
+        raise ValueError("resolved error bound is zero (rel bound on constant data?)")
+
+    plan = _get_plan(data.shape, layers)
+    attempts = 0
+    m = interval_bits
+    while True:
+        attempts += 1
+        radius = interval_radius(m)
+        result = wavefront_compress(data, eb, plan, radius)
+        if not adaptive or result.hit_rate >= theta or m >= _MAX_INTERVAL_BITS:
+            break
+        m = min(_MAX_INTERVAL_BITS, m + 2)
+
+    alphabet = 2 * interval_radius(m)  # codes 0 .. 2^m - 1
+    unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
+    if entropy_coder == "arithmetic":
+        from repro.encoding.arithmetic import encode_symbols
+        from repro.encoding.rice import zigzag
+
+        header = Header(
+            data.dtype, data.shape, m, layers, eb, value_range,
+            result.unpredictable.size, flags=FLAG_ARITHMETIC,
+        )
+        # Re-center so the dominant code (the interval center) maps to the
+        # cheapest symbol: 0 = unpredictable, 1 = exact hit, then outward.
+        radius = interval_radius(m)
+        mapped = np.where(
+            result.codes == 0,
+            0,
+            zigzag(result.codes - radius).astype(np.int64) + 1,
+        )
+        arith = encode_symbols(mapped, max_bits=m + 2)
+        blob = write_container(header, None, None, unpred_payload,
+                               arith_payload=arith)
+    else:
+        codec = HuffmanCodec.from_symbols(result.codes, alphabet)
+        stream = codec.encode(result.codes, block_size=block_size)
+        header = Header(
+            data.dtype, data.shape, m, layers, eb, value_range,
+            result.unpredictable.size,
+        )
+        blob = write_container(header, codec, stream, unpred_payload)
+    if lossless_post:
+        blob = wrap(blob)
+    stats = CompressionStats(
+        eb_abs=eb,
+        value_range=value_range,
+        layers=layers,
+        interval_bits=m,
+        hit_rate=result.hit_rate,
+        n_unpredictable=result.unpredictable.size,
+        original_bytes=data.nbytes,
+        compressed_bytes=len(blob),
+        elapsed_seconds=time.perf_counter() - t0,
+        code_histogram=np.bincount(result.codes, minlength=alphabet),
+        adaptive_attempts=attempts,
+    )
+    stats.itemsize = data.dtype.itemsize
+    return blob, stats
+
+
+def compress(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+    layers: int = 1,
+    interval_bits: int = 8,
+    adaptive: bool = False,
+    theta: float = DEFAULT_THETA,
+    block_size: int = 4096,
+    entropy_coder: str = "huffman",
+    lossless_post: bool = False,
+) -> bytes:
+    """Compress ``data``; see :func:`compress_with_stats` for parameters."""
+    blob, _ = compress_with_stats(
+        data, abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+        block_size, entropy_coder, lossless_post,
+    )
+    return blob
+
+
+def decompress(blob: bytes) -> np.ndarray:
+    """Decompress an SZ-1.4 (repro) container back to the full array.
+
+    Accepts plain containers, ``lossless_post``-wrapped containers, and
+    both entropy-coder variants — the container is self-describing.
+    """
+    blob = unwrap(blob)
+    header, codec, stream, unpred_payload, constant, arith = read_container(blob)
+    if header.is_constant:
+        return np.full(header.shape, constant, dtype=header.dtype)
+    expected = int(np.prod(header.shape))
+    if header.is_arithmetic:
+        from repro.encoding.arithmetic import decode_symbols
+        from repro.encoding.rice import unzigzag
+
+        mapped = decode_symbols(
+            arith, expected, max_bits=header.interval_bits + 2
+        )
+        radius = interval_radius(header.interval_bits)
+        codes = np.where(
+            mapped == 0,
+            0,
+            unzigzag((mapped - 1).astype(np.uint64)) + radius,
+        )
+    else:
+        codes = codec.decode(stream)
+    if codes.size != expected:
+        raise ValueError(
+            f"corrupt container: {codes.size} codes for {expected} points"
+        )
+    unpred_recon = decode_unpredictable(
+        unpred_payload, header.unpred_count, header.eb_abs, header.dtype
+    )
+    plan = _get_plan(header.shape, header.layers)
+    radius = interval_radius(header.interval_bits)
+    return wavefront_decompress(
+        codes, unpred_recon, plan, header.eb_abs, radius, header.dtype
+    )
+
+
+def container_info(blob: bytes) -> dict:
+    """Inspect a container without decompressing it.
+
+    Returns a dict with shape, dtype, bounds, layer/interval settings,
+    unpredictable count and the entropy/post-pass variants in use.
+    """
+    from repro.core.lossless_post import is_wrapped
+
+    wrapped = is_wrapped(blob)
+    header = read_container(unwrap(blob))[0]
+    return {
+        "shape": header.shape,
+        "dtype": str(np.dtype(header.dtype)),
+        "eb_abs": header.eb_abs,
+        "value_range": header.value_range,
+        "layers": header.layers,
+        "interval_bits": header.interval_bits,
+        "n_unpredictable": header.unpred_count,
+        "constant": header.is_constant,
+        "entropy_coder": "arithmetic" if header.is_arithmetic else "huffman",
+        "lossless_post": wrapped,
+        "compressed_bytes": len(blob),
+    }
+
+
+class SZ14Compressor:
+    """Object-style façade holding default parameters.
+
+    >>> sz = SZ14Compressor(rel_bound=1e-4, layers=1)
+    >>> blob = sz.compress(np.zeros((4, 4), dtype=np.float32) + 1)
+    >>> sz.decompress(blob).shape
+    (4, 4)
+    """
+
+    name = "SZ-1.4"
+
+    def __init__(
+        self,
+        abs_bound: float | None = None,
+        rel_bound: float | None = None,
+        layers: int = 1,
+        interval_bits: int = 8,
+        adaptive: bool = False,
+        theta: float = DEFAULT_THETA,
+        entropy_coder: str = "huffman",
+        lossless_post: bool = False,
+    ) -> None:
+        self.abs_bound = abs_bound
+        self.rel_bound = rel_bound
+        self.layers = layers
+        self.interval_bits = interval_bits
+        self.adaptive = adaptive
+        self.theta = theta
+        self.entropy_coder = entropy_coder
+        self.lossless_post = lossless_post
+
+    def _kwargs(self, **overrides):
+        kwargs = dict(
+            abs_bound=self.abs_bound,
+            rel_bound=self.rel_bound,
+            layers=self.layers,
+            interval_bits=self.interval_bits,
+            adaptive=self.adaptive,
+            theta=self.theta,
+            entropy_coder=self.entropy_coder,
+            lossless_post=self.lossless_post,
+        )
+        kwargs.update({k: v for k, v in overrides.items() if v is not None})
+        return kwargs
+
+    def compress(self, data: np.ndarray, **overrides) -> bytes:
+        return compress(data, **self._kwargs(**overrides))
+
+    def compress_with_stats(
+        self, data: np.ndarray, **overrides
+    ) -> tuple[bytes, CompressionStats]:
+        return compress_with_stats(data, **self._kwargs(**overrides))
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        return decompress(blob)
+
+    @property
+    def intervals(self) -> int:
+        return num_intervals(self.interval_bits)

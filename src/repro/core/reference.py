@@ -1,0 +1,84 @@
+"""Scalar reference implementation of the SZ-1.4 inner loop.
+
+Processes points in the paper's raster order (low dimension fastest) with
+plain Python loops.  It exists purely so the test suite can prove the
+wavefront engine (:mod:`repro.core.wavefront`) is bit-identical to the
+published sequential algorithm; never use it for real data sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictor import prediction_stencil
+from repro.core.quantizer import UNPREDICTABLE
+from repro.core.unpredictable import truncate_to_bound
+
+__all__ = ["reference_compress", "reference_decompress"]
+
+
+def reference_compress(
+    data: np.ndarray, eb: float, n: int, radius: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raster-order compression; returns (codes in raster order, decompressed)."""
+    out_dtype = data.dtype
+    cast = out_dtype.type
+    offsets, coeffs = prediction_stencil(n, data.ndim)
+    padded = np.zeros(tuple(s + n for s in data.shape), dtype=np.float64)
+    codes = np.zeros(data.shape, dtype=np.int64)
+    two_eb = 2.0 * eb
+    for idx in np.ndindex(data.shape):
+        pidx = tuple(i + n for i in idx)
+        pred = 0.0
+        for off, c in zip(offsets, coeffs):
+            pred += c * padded[tuple(p - o for p, o in zip(pidx, off))]
+        x = float(data[idx])
+        q = np.rint((x - pred) / two_eb)
+        ok = False
+        if np.isfinite(x) and abs(q) < radius:
+            recon = float(cast(pred + q * two_eb))
+            if np.isfinite(recon) and abs(x - recon) <= eb:
+                codes[idx] = int(q) + radius
+                padded[pidx] = recon
+                ok = True
+        if not ok:
+            codes[idx] = UNPREDICTABLE
+            padded[pidx] = float(
+                truncate_to_bound(np.array([x], dtype=out_dtype), eb)[0]
+            )
+    interior = tuple(slice(n, None) for _ in range(data.ndim))
+    return codes, padded[interior].astype(out_dtype)
+
+
+def reference_decompress(
+    codes: np.ndarray,
+    unpred_recon: np.ndarray,
+    eb: float,
+    n: int,
+    radius: int,
+    out_dtype: np.dtype,
+) -> np.ndarray:
+    """Raster-order decompression matching :func:`reference_compress`.
+
+    ``unpred_recon`` must be in raster order here (the reference pipeline
+    keeps everything in raster order).
+    """
+    shape = codes.shape
+    cast = np.dtype(out_dtype).type
+    offsets, coeffs = prediction_stencil(n, codes.ndim)
+    padded = np.zeros(tuple(s + n for s in shape), dtype=np.float64)
+    two_eb = 2.0 * eb
+    upos = 0
+    for idx in np.ndindex(shape):
+        pidx = tuple(i + n for i in idx)
+        code = int(codes[idx])
+        if code == UNPREDICTABLE:
+            padded[pidx] = float(unpred_recon[upos])
+            upos += 1
+        else:
+            pred = 0.0
+            for off, c in zip(offsets, coeffs):
+                pred += c * padded[tuple(p - o for p, o in zip(pidx, off))]
+            padded[pidx] = float(cast(pred + (code - radius) * two_eb))
+    interior = tuple(slice(n, None) for _ in range(codes.ndim))
+    return padded[interior].astype(out_dtype)

@@ -1,0 +1,169 @@
+"""SZ-1.4 container format.
+
+Self-describing byte layout::
+
+    magic 'SZRP' (32) | version (8) | dtype code (8) | ndim (8) |
+    interval_bits m (8) | layers n (8) | flags (8) |
+    shape: ndim x 48 | eb_abs: raw float64 bits (64) |
+    value_range: raw float64 bits (64) | unpred_count (48)
+    [flag CONSTANT: constant value (64), end]
+    Huffman length table (self-delimiting)
+    -- byte align --
+    EncodedStream blob length (48) | EncodedStream bytes
+    unpredictable payload length (48) | payload bytes
+
+Everything needed for decompression is in the container; the caller only
+holds bytes.  Version and magic are checked; truncation raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.bitio import BitReader, BitWriter
+from repro.encoding.huffman import EncodedStream, HuffmanCodec
+
+__all__ = [
+    "Header",
+    "write_container",
+    "read_container",
+    "FLAG_CONSTANT",
+    "FLAG_ARITHMETIC",
+]
+
+MAGIC = 0x535A5250  # 'SZRP'
+VERSION = 1
+FLAG_CONSTANT = 1
+FLAG_ARITHMETIC = 2  # quantization codes arithmetic- instead of Huffman-coded
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+
+@dataclass
+class Header:
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    interval_bits: int
+    layers: int
+    eb_abs: float
+    value_range: float
+    unpred_count: int
+    flags: int = 0
+
+    @property
+    def is_constant(self) -> bool:
+        return bool(self.flags & FLAG_CONSTANT)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return bool(self.flags & FLAG_ARITHMETIC)
+
+
+def _f64_bits(x: float) -> int:
+    return int(np.float64(x).view(np.uint64))
+
+
+def _bits_f64(b: int) -> float:
+    return float(np.uint64(b).view(np.float64))
+
+
+def write_container(
+    header: Header,
+    codec: HuffmanCodec | None,
+    stream: EncodedStream | None,
+    unpred_payload: bytes,
+    constant_value: float = 0.0,
+    arith_payload: bytes | None = None,
+) -> bytes:
+    w = BitWriter()
+    w.write(MAGIC, 32)
+    w.write(VERSION, 8)
+    w.write(_DTYPE_CODES[np.dtype(header.dtype)], 8)
+    w.write(len(header.shape), 8)
+    w.write(header.interval_bits, 8)
+    w.write(header.layers, 8)
+    w.write(header.flags, 8)
+    for s in header.shape:
+        w.write(int(s), 48)
+    w.write(_f64_bits(header.eb_abs), 64)
+    w.write(_f64_bits(header.value_range), 64)
+    w.write(header.unpred_count, 48)
+    if header.is_constant:
+        w.write(_f64_bits(constant_value), 64)
+        return w.getvalue()
+    if header.is_arithmetic:
+        assert arith_payload is not None
+        stream_blob = arith_payload
+    else:
+        assert codec is not None and stream is not None
+        codec.write_table(w)
+        stream_blob = stream.to_bytes()
+    head = w.getvalue()
+    out = bytearray(head)
+    out += len(stream_blob).to_bytes(6, "big")
+    out += stream_blob
+    out += len(unpred_payload).to_bytes(6, "big")
+    out += unpred_payload
+    return bytes(out)
+
+
+def read_container(
+    blob: bytes,
+) -> tuple[
+    Header, HuffmanCodec | None, EncodedStream | None, bytes, float, bytes
+]:
+    """Parse a container.
+
+    Returns ``(header, codec, stream, unpredictable payload, constant,
+    arithmetic payload)``; the codec/stream pair and the arithmetic
+    payload are mutually exclusive depending on ``header.is_arithmetic``.
+    """
+    r = BitReader(blob)
+    try:
+        if r.read(32) != MAGIC:
+            raise ValueError("not an SZ-1.4 (repro) container: bad magic")
+        version = r.read(8)
+        if version != VERSION:
+            raise ValueError(f"unsupported container version {version}")
+        dtype = _CODE_DTYPES[r.read(8)]
+        ndim = r.read(8)
+        interval_bits = r.read(8)
+        layers = r.read(8)
+        flags = r.read(8)
+        shape = tuple(r.read(48) for _ in range(ndim))
+        eb_abs = _bits_f64(r.read(64))
+        value_range = _bits_f64(r.read(64))
+        unpred_count = r.read(48)
+        header = Header(
+            dtype, shape, interval_bits, layers, eb_abs, value_range,
+            unpred_count, flags,
+        )
+        if header.is_constant:
+            constant = _bits_f64(r.read(64))
+            return header, None, None, b"", constant, b""
+        codec = None
+        if not header.is_arithmetic:
+            codec = HuffmanCodec.read_table(r)
+        pos = (r.bitpos + 7) // 8
+        stream_len = int.from_bytes(blob[pos : pos + 6], "big")
+        pos += 6
+        if pos + stream_len > len(blob):
+            raise EOFError("truncated container: symbol stream")
+        stream = None
+        arith = b""
+        if header.is_arithmetic:
+            arith = bytes(blob[pos : pos + stream_len])
+        else:
+            stream = EncodedStream.from_bytes(blob[pos : pos + stream_len])
+        pos += stream_len
+        unpred_len = int.from_bytes(blob[pos : pos + 6], "big")
+        pos += 6
+        if pos + unpred_len > len(blob):
+            raise EOFError("truncated container: unpredictable payload")
+        payload = bytes(blob[pos : pos + unpred_len])
+        return header, codec, stream, payload, 0.0, arith
+    except EOFError as exc:
+        raise ValueError(f"truncated SZ-1.4 container: {exc}") from exc

@@ -1,0 +1,31 @@
+"""Synthetic stand-ins for the paper's production data sets.
+
+The paper evaluates on 2.6 TB of CESM ATM climate fields, 40 GB of APS
+X-ray images and 1.2 GB of hurricane simulation volumes — none of which
+are redistributable or obtainable offline.  These generators synthesize
+fields with the same qualitative structure (smooth multi-scale regions
+punctuated by sharp/spiky changes, sparse masks, huge dynamic ranges)
+so that every compressor code path the paper exercises is exercised
+here too.  See DESIGN.md §1.4 for the substitution rationale.
+"""
+
+from repro.datasets.climate import atm_dataset, cdnumc_like, freqsh_like, snowhlnd_like
+from repro.datasets.fields import gaussian_random_field, ridged_field, sparse_patches
+from repro.datasets.hurricane import hurricane_dataset
+from repro.datasets.registry import DATASETS, describe_datasets, load
+from repro.datasets.xray import aps_like
+
+__all__ = [
+    "DATASETS",
+    "aps_like",
+    "atm_dataset",
+    "cdnumc_like",
+    "describe_datasets",
+    "freqsh_like",
+    "gaussian_random_field",
+    "hurricane_dataset",
+    "load",
+    "ridged_field",
+    "snowhlnd_like",
+    "sparse_patches",
+]

@@ -1,0 +1,98 @@
+"""ATM-like climate fields (CESM Community Atmosphere Model stand-ins).
+
+The paper's ATM data are 1800x3600 single-precision lat-lon fields; three
+named variables matter for specific experiments:
+
+* ``FREQSH`` — shallow-convection frequency, smooth-ish in [0, 1], the
+  paper's representative *low*-compression-factor variable (CF ≈ 6.5 at
+  eb_rel 1e-4; Fig. 9a).
+* ``SNOWHLND`` — land snow depth, mostly zero with smooth patches, the
+  representative *high*-CF variable (CF ≈ 48; Fig. 9c).
+* ``CDNUMC`` — column droplet number, value range ~1e-3..1e11, the case
+  where ZFP's exponent alignment breaks the error bound (Section V-A).
+
+Default shape is laptop-sized; pass ``shape=(1800, 3600)`` for
+paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.fields import gaussian_random_field, ridged_field, sparse_patches
+
+__all__ = ["freqsh_like", "snowhlnd_like", "cdnumc_like", "phis_like", "atm_dataset"]
+
+DEFAULT_SHAPE = (384, 768)
+
+
+def freqsh_like(shape: tuple[int, int] = DEFAULT_SHAPE, seed: int = 0) -> np.ndarray:
+    """Shallow-convection-frequency-like field in [0, 1] (float32).
+
+    Multi-scale smooth base with front-like transitions and a little
+    small-scale roughness — compresses around the paper's FREQSH levels.
+    """
+    base = gaussian_random_field(shape, beta=5.5, seed=seed)
+    fronts = ridged_field(shape, beta=5.0, sharpness=2.0, seed=seed + 10)
+    # Roughness is *localized* (storm systems), not global: a smooth
+    # majority keeps tight-bound prediction alive (the paper's ATM grid is
+    # heavily oversampled) while rough patches bound the loose-bound CF.
+    mask_field = gaussian_random_field(shape, beta=4.0, seed=seed + 30)
+    mask = mask_field > np.quantile(mask_field, 0.9)
+    rough = gaussian_random_field(shape, beta=2.8, seed=seed + 20)
+    raw = 0.5 + 0.3 * base + 0.12 * fronts + 0.03 * rough * mask
+    return np.clip(raw, 0.0, 1.0).astype(np.float32)
+
+
+def snowhlnd_like(
+    shape: tuple[int, int] = DEFAULT_SHAPE, seed: int = 1
+) -> np.ndarray:
+    """Land-snow-depth-like field: ~90% exact zeros, smooth patches
+    elsewhere (float32, meters-ish scale) — the paper's high-CF regime."""
+    field = sparse_patches(shape, coverage=0.10, beta=6.0, seed=seed)
+    return (field * 0.8).astype(np.float32)
+
+
+def cdnumc_like(
+    shape: tuple[int, int] = DEFAULT_SHAPE, seed: int = 2
+) -> np.ndarray:
+    """Column-droplet-number-like field spanning ~14 decades (float32).
+
+    Log-scaled smooth field exponentiated to cover ~1e-3..1e11, the huge
+    dynamic range that defeats ZFP's fixed-point alignment.
+    """
+    log_field = gaussian_random_field(shape, beta=3.0, seed=seed)
+    # map N(0,1) smoothly onto exponents [-3, 11]
+    exponents = 4.0 + 3.5 * np.clip(log_field, -2, 2)
+    return (10.0**exponents).astype(np.float32)
+
+
+def phis_like(shape: tuple[int, int] = DEFAULT_SHAPE, seed: int = 5) -> np.ndarray:
+    """Surface-geopotential-like field: very smooth at grid scale.
+
+    The paper's 1800x3600 ATM grid heavily oversamples large-scale
+    structure, so fields are locally polynomial — the regime where the
+    2-layer model beats 1-layer *on original values* (Table II) while
+    decompression-error feedback still favors 1 layer in the loop.
+    """
+    return (
+        3000.0 * gaussian_random_field(shape, beta=6.0, seed=seed)
+    ).astype(np.float32)
+
+
+def atm_dataset(
+    shape: tuple[int, int] = DEFAULT_SHAPE, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """A bundle of ATM-like variables keyed by CESM-ish names."""
+    return {
+        "FREQSH": freqsh_like(shape, seed),
+        "SNOWHLND": snowhlnd_like(shape, seed + 1),
+        "CDNUMC": cdnumc_like(shape, seed + 2),
+        "TS": (288.0 + 25.0 * gaussian_random_field(shape, 3.4, seed + 3)).astype(
+            np.float32
+        ),
+        "PSL": (
+            101325.0 + 1500.0 * gaussian_random_field(shape, 3.6, seed + 4)
+        ).astype(np.float32),
+        "PHIS": phis_like(shape, seed + 5),
+    }

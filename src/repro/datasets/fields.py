@@ -1,0 +1,82 @@
+"""Random-field primitives shared by the data-set generators.
+
+Spectral (FFT) synthesis of Gaussian random fields with power-law
+spectra gives tunable smoothness; ridging and sparse patching add the
+"fairly sharp or spiky data changes in small data regions" the paper
+names as the hard case for curve-fitting compressors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_random_field", "ridged_field", "sparse_patches"]
+
+
+def _radial_wavenumber(shape: tuple[int, ...]) -> np.ndarray:
+    axes = [np.fft.fftfreq(s) * s for s in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k2 = sum(g * g for g in grids)
+    k = np.sqrt(k2)
+    k[(0,) * len(shape)] = 1.0  # avoid div-by-zero at DC
+    return k
+
+
+def gaussian_random_field(
+    shape: tuple[int, ...],
+    beta: float = 3.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Zero-mean unit-variance field with isotropic spectrum ``k^-beta``.
+
+    ``beta ~ 3`` resembles large-scale geophysical fields (smooth);
+    ``beta ~ 1`` is rough.  Deterministic per ``(shape, beta, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    k = _radial_wavenumber(shape)
+    amplitude = k ** (-beta / 2.0)
+    amplitude[(0,) * len(shape)] = 0.0
+    noise = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    field = np.fft.ifftn(noise * amplitude).real
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field
+
+
+def ridged_field(
+    shape: tuple[int, ...],
+    beta: float = 3.0,
+    sharpness: float = 8.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Smooth field pushed through ``tanh`` to create front-like ridges.
+
+    Mimics atmospheric fronts / shock-like features: large smooth regions
+    separated by thin zones of steep gradient.
+    """
+    base = gaussian_random_field(shape, beta, seed)
+    return np.tanh(sharpness * base)
+
+
+def sparse_patches(
+    shape: tuple[int, ...],
+    coverage: float = 0.15,
+    beta: float = 3.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Mostly-zero field with smooth positive patches.
+
+    Thresholds a smooth random field so ~``coverage`` of the domain is
+    active; magnitudes inside patches come from a second field.  This is
+    the SNOWHLND-like regime (paper Fig. 9): high compression factors
+    because most points are exactly zero.
+    """
+    if not 0 < coverage < 1:
+        raise ValueError("coverage must be in (0, 1)")
+    mask_field = gaussian_random_field(shape, beta, seed)
+    threshold = np.quantile(mask_field, 1.0 - coverage)
+    magnitude = gaussian_random_field(shape, beta, seed + 1)
+    out = np.where(mask_field > threshold, np.abs(magnitude) + 0.1, 0.0)
+    return out

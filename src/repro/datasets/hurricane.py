@@ -1,0 +1,77 @@
+"""Hurricane-simulation-like 3-D fields (NCAR Vis2004 contest stand-ins).
+
+The paper's hurricane data are 100x500x500 volumes of simulation
+variables.  We synthesize a Rankine-style vortex — solid-body rotation
+inside the radius of maximum wind, 1/r decay outside — with vertical
+structure, a warm/low-pressure core, moisture, and superimposed
+spectral turbulence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.fields import gaussian_random_field
+
+__all__ = ["hurricane_dataset"]
+
+DEFAULT_SHAPE = (24, 96, 96)
+
+
+def hurricane_dataset(
+    shape: tuple[int, int, int] = DEFAULT_SHAPE,
+    seed: int = 0,
+    v_max: float = 65.0,
+    turbulence: float = 0.06,
+) -> dict[str, np.ndarray]:
+    """Synthetic hurricane volume: U, V, W winds, pressure P, moisture QV.
+
+    Returns float32 arrays of the given (z, y, x) shape.
+    """
+    nz, ny, nx = shape
+    z = np.linspace(0, 1, nz)[:, None, None]
+    y = np.linspace(-1, 1, ny)[None, :, None]
+    x = np.linspace(-1, 1, nx)[None, None, :]
+    rng = np.random.default_rng(seed)
+
+    # eye drifts slightly with height (vortex tilt)
+    cx = 0.08 * z * np.cos(3 * z)
+    cy = 0.08 * z * np.sin(3 * z)
+    dx = x - cx
+    dy = y - cy
+    r = np.sqrt(dx**2 + dy**2) + 1e-9
+    r_max = 0.12  # radius of maximum wind
+
+    vt = np.where(r <= r_max, v_max * r / r_max, v_max * r_max / r)
+    vt = vt * (1.0 - 0.6 * z)  # winds weaken aloft
+    u = -vt * dy / r
+    v = vt * dx / r
+
+    w = (
+        4.0
+        * np.exp(-((r - r_max) ** 2) / (2 * (0.04) ** 2))
+        * np.sin(np.pi * z)
+    )
+
+    p = 101325.0 - 8000.0 * np.exp(-(r**2) / (2 * (0.25) ** 2)) * (1 - 0.5 * z)
+    qv = 0.02 * np.exp(-2.0 * z) * (1 + 0.3 * np.exp(-(r**2) / 0.08))
+
+    # Turbulence mirrors resolved simulation output: a steep-spectrum
+    # (grid-smooth) component everywhere plus rough eddies confined to
+    # ~10% of the volume (rainbands), like the ATM generator's storms.
+    mask_field = gaussian_random_field(shape, beta=3.5, seed=seed + 9)
+    mask = (mask_field > np.quantile(mask_field, 0.9)).astype(np.float64)
+
+    def turb(seed_off: int) -> np.ndarray:
+        smooth = gaussian_random_field(shape, beta=6.0, seed=seed + seed_off)
+        rough = gaussian_random_field(shape, beta=2.8, seed=seed + seed_off + 50)
+        return 0.25 * smooth + turbulence * rough * mask
+
+    fields = {
+        "U": u + v_max * 0.04 * turb(1),
+        "V": v + v_max * 0.04 * turb(2),
+        "W": w + 2.0 * 0.04 * turb(3),
+        "P": p + 100.0 * 0.04 * turb(4),
+        "QVAPOR": np.maximum(qv * (1 + 0.08 * turb(5)), 0.0),
+    }
+    return {k: np.ascontiguousarray(f, dtype=np.float32) for k, f in fields.items()}

@@ -1,0 +1,58 @@
+"""APS-like X-ray detector images (Advanced Photon Source stand-ins).
+
+The paper's APS data are 2560x2560 detector frames.  Diffraction images
+combine a slowly varying background, powder rings, intense localized
+Bragg peaks, and shot noise — smooth regions punctuated by extreme
+spikes, the regime Section I motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.fields import gaussian_random_field
+
+__all__ = ["aps_like"]
+
+DEFAULT_SHAPE = (512, 512)
+
+
+def aps_like(
+    shape: tuple[int, int] = DEFAULT_SHAPE,
+    seed: int = 0,
+    n_peaks: int = 120,
+    n_rings: int = 5,
+    noise: float = 0.01,
+) -> np.ndarray:
+    """Synthetic diffraction frame (float32, arbitrary detector counts)."""
+    rng = np.random.default_rng(seed)
+    h, w = shape
+    y, x = np.mgrid[0:h, 0:w].astype(np.float64)
+    cy, cx = h / 2.0, w / 2.0
+    r = np.hypot(y - cy, x - cx)
+
+    background = 50.0 * np.exp(-r / (0.6 * max(h, w)))
+    background += 5.0 * (1 + gaussian_random_field(shape, beta=3.0, seed=seed))
+
+    rings = np.zeros(shape)
+    for i in range(n_rings):
+        radius = (0.1 + 0.8 * (i + 1) / (n_rings + 1)) * min(h, w) / 2
+        width = 1.5 + 1.0 * rng.random()
+        rings += (30.0 / (i + 1)) * np.exp(-((r - radius) ** 2) / (2 * width**2))
+
+    peaks = np.zeros(shape)
+    py = rng.uniform(0, h, n_peaks)
+    px = rng.uniform(0, w, n_peaks)
+    amp = 10.0 ** rng.uniform(2, 4.2, n_peaks)
+    sig = rng.uniform(0.8, 2.5, n_peaks)
+    for yy, xx, a, s in zip(py, px, amp, sig):
+        y0, y1 = max(0, int(yy - 5 * s)), min(h, int(yy + 5 * s) + 1)
+        x0, x1 = max(0, int(xx - 5 * s)), min(w, int(xx + 5 * s) + 1)
+        sub_y, sub_x = np.mgrid[y0:y1, x0:x1].astype(np.float64)
+        peaks[y0:y1, x0:x1] += a * np.exp(
+            -((sub_y - yy) ** 2 + (sub_x - xx) ** 2) / (2 * s**2)
+        )
+
+    image = background + rings + peaks
+    image *= 1.0 + noise * rng.standard_normal(shape)
+    return np.maximum(image, 0.0).astype(np.float32)

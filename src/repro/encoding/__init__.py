@@ -1,0 +1,38 @@
+"""Entropy-coding and bit-level substrates used by every compressor in repro.
+
+Modules
+-------
+bitio
+    Scalar ``BitWriter``/``BitReader`` plus vectorized variable-length bit
+    packing built on NumPy.
+ragged
+    Index arithmetic for ragged (variable-length per segment) arrays.
+huffman
+    Canonical Huffman coding for arbitrary alphabet sizes (the paper's
+    tailored variable-length encoder, Section IV-A).
+rice
+    Golomb-Rice coding for non-negative integers.
+lz77
+    Hash-chain LZ77 matcher.
+deflate
+    DEFLATE-like lossless codec (LZ77 + two canonical Huffman alphabets)
+    backing the GZIP baseline.
+"""
+
+from repro.encoding.bitio import (
+    BitReader,
+    BitWriter,
+    pack_varlen,
+    read_bits_at,
+    unpack_varlen,
+)
+from repro.encoding.huffman import HuffmanCodec
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "HuffmanCodec",
+    "pack_varlen",
+    "read_bits_at",
+    "unpack_varlen",
+]

@@ -1,0 +1,456 @@
+"""Canonical Huffman coding for arbitrary alphabet sizes.
+
+The paper (Section IV-A) points out that off-the-shelf Huffman coders work
+byte-by-byte (256 symbols) while SZ-1.4 needs ``2^m`` quantization codes
+with ``m`` possibly larger than 8, so it re-implements Huffman for any
+alphabet size.  This module does the same for the reproduction:
+
+* tree construction over any alphabet, with an iterative frequency-halving
+  length limiter so codewords never exceed ``max_code_length``;
+* canonical code assignment (codes derivable from lengths alone, so only
+  the length table is serialized);
+* a fully vectorized encoder built on :func:`repro.encoding.bitio.pack_varlen`;
+* a *block-parallel* vectorized decoder: the symbol stream is chunked at
+  encode time, per-chunk bit lengths are recorded, and decoding advances
+  all chunks in lockstep — one table lookup round decodes one symbol per
+  chunk.  A scalar reference decoder is kept for verification.
+
+The two-level decode table (primary prefix table + per-prefix subtables)
+keeps memory bounded even for 17+-bit codes on 65537-symbol alphabets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.bitio import (
+    BitReader,
+    BitWriter,
+    pack_varlen,
+    read_bits_at,
+)
+
+__all__ = ["HuffmanCodec", "EncodedStream", "huffman_code_lengths"]
+
+_PRIMARY_BITS = 13
+_DEFAULT_BLOCK = 4096
+
+
+def huffman_code_lengths(
+    freqs: np.ndarray, max_code_length: int = 24
+) -> np.ndarray:
+    """Compute Huffman code lengths for the given symbol frequencies.
+
+    Parameters
+    ----------
+    freqs
+        Non-negative counts, one per symbol.  Symbols with zero frequency
+        get length 0 (no codeword).
+    max_code_length
+        Upper bound on any codeword length.  When the unconstrained tree
+        exceeds it, frequencies are iteratively halved (zlib-style) and the
+        tree rebuilt; this converges because halving flattens the
+        distribution toward uniform.
+
+    Returns
+    -------
+    int64 array of code lengths (0 for absent symbols).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be one-dimensional")
+    if freqs.size and freqs.min() < 0:
+        raise ValueError("frequencies must be non-negative")
+    present = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+    if max_code_length < int(np.ceil(np.log2(present.size))):
+        raise ValueError(
+            f"max_code_length={max_code_length} cannot address "
+            f"{present.size} symbols"
+        )
+    work = freqs[present].astype(np.int64)
+    while True:
+        depths = _tree_depths(work)
+        if depths.max() <= max_code_length:
+            break
+        work = np.maximum(work >> 1, 1)
+    lengths[present] = depths
+    return lengths
+
+
+def _tree_depths(freqs: np.ndarray) -> np.ndarray:
+    """Depth of each leaf in a Huffman tree over ``freqs`` (all > 0)."""
+    n = freqs.size
+    # Heap items: (frequency, tie-break serial, node id).  Node ids < n are
+    # leaves; internal nodes get ids >= n.  parent[] lets us read depths off
+    # the forest afterwards without recursion.
+    heap = [(int(f), i, i) for i, f in enumerate(freqs)]
+    heapq.heapify(heap)
+    parent = np.full(2 * n - 1, -1, dtype=np.int64)
+    next_id = n
+    while len(heap) > 1:
+        f1, _, a = heapq.heappop(heap)
+        f2, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (f1 + f2, next_id, next_id))
+        next_id += 1
+    depths = np.zeros(n, dtype=np.int64)
+    # Depth of node = depth of parent + 1; compute top-down by id order
+    # (parents always have larger ids than children).
+    depth_all = np.zeros(2 * n - 1, dtype=np.int64)
+    for node in range(2 * n - 3, -1, -1):
+        depth_all[node] = depth_all[parent[node]] + 1
+    depths[:] = depth_all[:n]
+    return depths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given code lengths (0 = absent)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    present = np.flatnonzero(lengths)
+    if present.size == 0:
+        return codes
+    max_len = int(lengths.max())
+    bl_count = np.bincount(lengths[present], minlength=max_len + 1)
+    next_code = np.zeros(max_len + 1, dtype=np.uint64)
+    code = 0
+    for l in range(1, max_len + 1):
+        code = (code + int(bl_count[l - 1])) << 1
+        next_code[l] = code
+    # Symbols sorted by (length, symbol) receive consecutive codes within
+    # each length class.
+    order = present[np.lexsort((present, lengths[present]))]
+    lens_sorted = lengths[order]
+    # rank within each length class
+    change = np.concatenate(([True], lens_sorted[1:] != lens_sorted[:-1]))
+    class_start = np.maximum.accumulate(np.where(change, np.arange(order.size), 0))
+    rank = np.arange(order.size) - class_start
+    codes[order] = next_code[lens_sorted] + rank.astype(np.uint64)
+    return codes
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """A Huffman-encoded symbol stream with block index for parallel decode."""
+
+    n_symbols: int
+    block_size: int
+    block_bits: np.ndarray  # uint64, bits consumed by each block
+    payload: np.ndarray  # uint8
+
+    @property
+    def total_bits(self) -> int:
+        return int(self.block_bits.sum())
+
+    def to_bytes(self) -> bytes:
+        w = BitWriter()
+        w.write(self.n_symbols, 48)
+        w.write(self.block_size, 32)
+        w.write(len(self.payload), 48)
+        for b in self.block_bits:
+            w.write(int(b), 40)
+        return w.getvalue() + self.payload.tobytes()
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "EncodedStream":
+        r = BitReader(buf)
+        n_symbols = r.read(48)
+        block_size = r.read(32)
+        payload_len = r.read(48)
+        nblocks = (
+            0 if n_symbols == 0 else -(-n_symbols // block_size)
+        )
+        block_bits = np.array(
+            [r.read(40) for _ in range(nblocks)], dtype=np.uint64
+        )
+        header_bytes = (r.bitpos + 7) // 8
+        payload = np.frombuffer(
+            buf, dtype=np.uint8, count=payload_len, offset=header_bytes
+        )
+        return cls(n_symbols, block_size, block_bits, payload)
+
+
+class HuffmanCodec:
+    """Canonical Huffman codec over an arbitrary integer alphabet.
+
+    Build with :meth:`from_frequencies` or :meth:`from_lengths`; the length
+    table is the complete description of the code (canonical assignment).
+    """
+
+    #: hard cap on codeword length — bounds decode-table memory even for
+    #: adversarial (corrupted) length tables
+    MAX_DECODE_LEN = 32
+
+    def __init__(self, lengths: np.ndarray) -> None:
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+        if self.lengths.ndim != 1:
+            raise ValueError("length table must be one-dimensional")
+        self.max_len = int(self.lengths.max()) if self.lengths.size else 0
+        if self.max_len > self.MAX_DECODE_LEN:
+            raise ValueError(
+                f"code length {self.max_len} exceeds the "
+                f"{self.MAX_DECODE_LEN}-bit decoder limit (corrupt table?)"
+            )
+        if self.lengths.size and self.lengths.min() < 0:
+            raise ValueError("negative code length (corrupt table?)")
+        present = self.lengths[self.lengths > 0]
+        if present.size:
+            kraft = float(np.sum(2.0 ** (-present.astype(np.float64))))
+            if kraft > 1.0 + 1e-9:
+                raise ValueError(
+                    f"length table violates the Kraft inequality "
+                    f"({kraft:.4f} > 1): not a prefix code"
+                )
+        self.codes = _canonical_codes(self.lengths)
+        self._decode_tables: tuple | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_frequencies(
+        cls, freqs: np.ndarray, max_code_length: int = 24
+    ) -> "HuffmanCodec":
+        return cls(huffman_code_lengths(freqs, max_code_length))
+
+    @classmethod
+    def from_symbols(
+        cls, symbols: np.ndarray, alphabet_size: int, max_code_length: int = 24
+    ) -> "HuffmanCodec":
+        freqs = np.bincount(
+            np.asarray(symbols).ravel(), minlength=alphabet_size
+        )
+        return cls.from_frequencies(freqs, max_code_length)
+
+    @property
+    def alphabet_size(self) -> int:
+        return self.lengths.size
+
+    # -- table (de)serialization ----------------------------------------
+
+    def write_table(self, w: BitWriter) -> None:
+        """Serialize the length table with run-length tokens.
+
+        Token grammar (MSB-first)::
+
+            '1'  + 6-bit len              one symbol of this length
+            '01' + 16-bit n               run of n absent symbols (len 0)
+            '00' + 6-bit len + 12-bit n   run of n symbols, same length
+        """
+        w.write(self.alphabet_size, 32)
+        lengths = self.lengths
+        i = 0
+        n = lengths.size
+        while i < n:
+            j = i
+            while j < n and lengths[j] == lengths[i]:
+                j += 1
+            run = j - i
+            val = int(lengths[i])
+            if val == 0:
+                while run > 0:
+                    chunk = min(run, (1 << 16) - 1)
+                    w.write(0b01, 2)
+                    w.write(chunk, 16)
+                    run -= chunk
+            elif run == 1:
+                w.write(0b1, 1)
+                w.write(val, 6)
+            else:
+                while run > 0:
+                    chunk = min(run, (1 << 12) - 1)
+                    if chunk == 1:
+                        w.write(0b1, 1)
+                        w.write(val, 6)
+                    else:
+                        w.write(0b00, 2)
+                        w.write(val, 6)
+                        w.write(chunk, 12)
+                    run -= chunk
+            i = j
+
+    MAX_ALPHABET = 1 << 24
+
+    @classmethod
+    def read_table(cls, r: BitReader) -> "HuffmanCodec":
+        alphabet = r.read(32)
+        if alphabet > cls.MAX_ALPHABET:
+            raise ValueError(
+                f"alphabet size {alphabet} exceeds limit (corrupt table?)"
+            )
+        lengths = np.zeros(alphabet, dtype=np.int64)
+        i = 0
+        while i < alphabet:
+            if r.read(1):
+                lengths[i] = r.read(6)
+                i += 1
+            elif r.read(1):
+                i += r.read(16)
+            else:
+                val = r.read(6)
+                run = r.read(12)
+                lengths[i : i + run] = val
+                i += run
+        if i != alphabet:
+            raise ValueError("corrupt Huffman table: token overrun")
+        return cls(lengths)
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(
+        self, symbols: np.ndarray, block_size: int = _DEFAULT_BLOCK
+    ) -> EncodedStream:
+        """Encode a symbol array into a blocked canonical-Huffman stream."""
+        symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        if symbols.size and (
+            symbols.min() < 0 or symbols.max() >= self.alphabet_size
+        ):
+            raise ValueError("symbol out of alphabet range")
+        lens = self.lengths[symbols]
+        if symbols.size and lens.min() == 0:
+            raise ValueError("symbol with no codeword (zero frequency) seen")
+        vals = self.codes[symbols]
+        # One vectorized pack over the whole stream; blocks are bit-offset
+        # ranges within it (cursors may start mid-byte — read_bits_at copes).
+        payload, _ = pack_varlen(vals, lens)
+        nblocks = 0 if symbols.size == 0 else -(-symbols.size // block_size)
+        if nblocks:
+            block_bits = np.add.reduceat(
+                lens, np.arange(0, symbols.size, block_size)
+            ).astype(np.uint64)
+        else:
+            block_bits = np.zeros(0, dtype=np.uint64)
+        return EncodedStream(symbols.size, block_size, block_bits, payload)
+
+    # -- decoding --------------------------------------------------------
+
+    def _build_decode_tables(self) -> tuple:
+        if self._decode_tables is not None:
+            return self._decode_tables
+        max_len = max(self.max_len, 1)
+        primary_bits = min(_PRIMARY_BITS, max_len)
+        primary = np.zeros(1 << primary_bits, dtype=np.int64)
+        sub_prefixes: dict[int, int] = {}
+        sub_chunks: list[np.ndarray] = []
+        sub_depth = max_len - primary_bits
+        present = np.flatnonzero(self.lengths)
+        for sym in present:
+            length = int(self.lengths[sym])
+            code = int(self.codes[sym])
+            if length <= primary_bits:
+                # The codeword occupies all primary slots sharing its prefix.
+                lo = code << (primary_bits - length)
+                hi = lo + (1 << (primary_bits - length))
+                primary[lo:hi] = (int(sym) << 6) | length
+            else:
+                prefix = code >> (length - primary_bits)
+                if prefix not in sub_prefixes:
+                    sub_prefixes[prefix] = len(sub_chunks)
+                    sub_chunks.append(np.zeros(1 << sub_depth, dtype=np.int64))
+                    primary[prefix] = -(sub_prefixes[prefix] + 1)
+                table = sub_chunks[sub_prefixes[prefix]]
+                rem_len = length - primary_bits
+                rem = code & ((1 << rem_len) - 1)
+                lo = rem << (sub_depth - rem_len)
+                hi = lo + (1 << (sub_depth - rem_len))
+                table[lo:hi] = (int(sym) << 6) | length
+        secondary = (
+            np.concatenate(sub_chunks)
+            if sub_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        sub_base = np.arange(len(sub_chunks), dtype=np.int64) * (1 << sub_depth)
+        self._decode_tables = (primary_bits, primary, secondary, sub_base, sub_depth)
+        return self._decode_tables
+
+    def decode(self, stream: EncodedStream) -> np.ndarray:
+        """Block-parallel vectorized decode of an :class:`EncodedStream`."""
+        n = stream.n_symbols
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return out
+        primary_bits, primary, secondary, sub_base, sub_depth = (
+            self._build_decode_tables()
+        )
+        max_len = max(self.max_len, 1)
+        window_bits = min(57, max(max_len, primary_bits))
+        nblocks = stream.block_bits.size
+        cursors = np.zeros(nblocks, dtype=np.int64)
+        np.cumsum(stream.block_bits[:-1].astype(np.int64), out=cursors[1:])
+        end_bits = cursors + stream.block_bits.astype(np.int64)
+        counts = np.full(nblocks, stream.block_size, dtype=np.int64)
+        counts[-1] = n - stream.block_size * (nblocks - 1)
+        out_starts = np.zeros(nblocks, dtype=np.int64)
+        np.cumsum(counts[:-1], out=out_starts[1:])
+        payload = stream.payload
+        max_count = int(counts.max())
+        for r in range(max_count):
+            active = np.flatnonzero(counts > r)
+            window = read_bits_at(payload, cursors[active], window_bits)
+            idx = (window >> np.uint64(window_bits - primary_bits)).astype(
+                np.int64
+            )
+            entry = primary[idx]
+            long_mask = entry < 0
+            if long_mask.any():
+                sub_idx = -entry[long_mask] - 1
+                rem = (
+                    window[long_mask] >> np.uint64(window_bits - max_len)
+                ).astype(np.int64) & ((1 << sub_depth) - 1)
+                entry[long_mask] = secondary[sub_base[sub_idx] + rem]
+            if (entry == 0).any():
+                raise ValueError("corrupt Huffman stream: invalid codeword")
+            sym = entry >> 6
+            length = entry & 63
+            out[out_starts[active] + r] = sym
+            cursors[active] += length
+        if not np.array_equal(cursors, end_bits):
+            raise ValueError("corrupt Huffman stream: block length mismatch")
+        return out
+
+    def decode_scalar(self, stream: EncodedStream) -> np.ndarray:
+        """Bit-by-bit reference decoder (slow; used to validate ``decode``)."""
+        lookup = {
+            (int(self.lengths[s]), int(self.codes[s])): int(s)
+            for s in np.flatnonzero(self.lengths)
+        }
+        n = stream.n_symbols
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return out
+        nblocks = stream.block_bits.size
+        pos = 0
+        reader = BitReader(stream.payload.tobytes())
+        bit_start = 0
+        for b in range(nblocks):
+            reader.seek(bit_start)
+            remaining = min(stream.block_size, n - pos)
+            for _ in range(remaining):
+                code, length = 0, 0
+                while True:
+                    code = (code << 1) | reader.read(1)
+                    length += 1
+                    if (length, code) in lookup:
+                        out[pos] = lookup[(length, code)]
+                        pos += 1
+                        break
+                    if length > self.max_len:
+                        raise ValueError("corrupt Huffman stream")
+            bit_start += int(stream.block_bits[b])
+        return out
+
+    # -- diagnostics -----------------------------------------------------
+
+    def expected_bits(self, freqs: np.ndarray) -> float:
+        """Total encoded size (bits) of a source with the given counts."""
+        freqs = np.asarray(freqs, dtype=np.float64)
+        return float(np.sum(freqs * self.lengths))

@@ -1,0 +1,187 @@
+"""LZ77 hash-chain matcher.
+
+Backs the GZIP-like baseline (:mod:`repro.baselines.gzip_like`) via
+:mod:`repro.encoding.deflate`.  The matcher follows zlib's structure —
+4-byte hash, per-hash candidate chains, greedy parse with optional lazy
+one-step lookahead — sized by ``max_chain``.  It is pure Python (the
+paper's GZIP comparison concerns compression *factors*, not zlib's C
+speed), with slice-compare match extension to keep the hot loop cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lz77_parse",
+    "lz77_reconstruct",
+    "MIN_MATCH",
+    "MAX_MATCH",
+    "WINDOW_SIZE",
+]
+
+MIN_MATCH = 4
+MAX_MATCH = 258
+WINDOW_SIZE = 1 << 15  # 32 KiB, as in DEFLATE
+
+
+def _hash4(data: np.ndarray) -> np.ndarray:
+    """Vectorized 4-byte hash for every position (last 3 positions unused)."""
+    n = data.size
+    h = np.zeros(n, dtype=np.uint32)
+    if n < MIN_MATCH:
+        return h
+    d = data.astype(np.uint32)
+    raw = (
+        d[: n - 3]
+        | (d[1 : n - 2] << np.uint32(8))
+        | (d[2 : n - 1] << np.uint32(16))
+        | (d[3:n] << np.uint32(24))
+    )
+    h[: n - 3] = (raw * np.uint32(2654435761)) >> np.uint32(17)  # 15-bit hash
+    return h
+
+
+def lz77_parse(
+    data: bytes | np.ndarray,
+    max_chain: int = 16,
+    lazy: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse ``data`` into LZ77 tokens.
+
+    Returns three equal-length arrays ``(literals, lengths, distances)``:
+    where ``lengths[i] == 0`` the token is the literal byte ``literals[i]``,
+    otherwise a back-reference of ``lengths[i]`` bytes at ``distances[i]``.
+
+    Parameters
+    ----------
+    data
+        Input bytes.
+    max_chain
+        Number of previous candidate positions tried per match attempt.
+    lazy
+        Defer a match by one byte when the next position matches longer
+        (zlib's lazy matching).
+    """
+    raw = bytes(data)
+    n = len(raw)
+    literals: list[int] = []
+    lengths: list[int] = []
+    distances: list[int] = []
+    if n == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+    hashes = _hash4(np.frombuffer(raw, dtype=np.uint8))
+    hash_list = hashes.tolist()  # python ints: faster dict keys than np.uint32
+    head: dict[int, int] = {}
+    prev = [-1] * n
+    last_hashable = n - MIN_MATCH  # last position with a valid 4-byte hash
+    next_insert = 0  # all positions < next_insert are in the chains
+
+    def insert_upto(pos: int) -> None:
+        nonlocal next_insert
+        stop = min(pos, last_hashable + 1)
+        for j in range(next_insert, stop):
+            h = hash_list[j]
+            prev[j] = head.get(h, -1)
+            head[h] = j
+        next_insert = max(next_insert, pos)
+
+    def find_match(pos: int) -> tuple[int, int]:
+        """Longest match at ``pos``; returns (length, distance) or (0, 0)."""
+        if pos > last_hashable:
+            return 0, 0
+        cand = head.get(hash_list[pos], -1)
+        best_len = MIN_MATCH - 1
+        best_dist = 0
+        limit = min(MAX_MATCH, n - pos)
+        chain = 0
+        lo = pos - WINDOW_SIZE
+        while cand >= lo and cand >= 0 and chain < max_chain:
+            # Cheap reject: the byte one past the current best must match
+            # for this candidate to beat it.
+            if raw[cand + best_len] == raw[pos + best_len]:
+                length = _extend(raw, cand, pos, limit)
+                if length > best_len:
+                    best_len, best_dist = length, pos - cand
+                    if length >= limit:
+                        break
+            cand = prev[cand]
+            chain += 1
+        if best_dist == 0:
+            return 0, 0
+        return best_len, best_dist
+
+    i = 0
+    while i < n:
+        insert_upto(i)
+        length, dist = find_match(i)
+        if lazy and length and i + 1 < n:
+            insert_upto(i + 1)
+            nlength, ndist = find_match(i + 1)
+            if nlength > length:
+                literals.append(raw[i])
+                lengths.append(0)
+                distances.append(0)
+                i += 1
+                length, dist = nlength, ndist
+        if length:
+            literals.append(0)
+            lengths.append(length)
+            distances.append(dist)
+            i += length
+        else:
+            literals.append(raw[i])
+            lengths.append(0)
+            distances.append(0)
+            i += 1
+    return (
+        np.array(literals, dtype=np.int64),
+        np.array(lengths, dtype=np.int64),
+        np.array(distances, dtype=np.int64),
+    )
+
+
+def _extend(raw: bytes, cand: int, pos: int, limit: int) -> int:
+    """Length of the common prefix of raw[cand:] and raw[pos:], capped."""
+    length = 0
+    step = 32
+    while length < limit:
+        chunk = min(step, limit - length)
+        if (
+            raw[cand + length : cand + length + chunk]
+            == raw[pos + length : pos + length + chunk]
+        ):
+            length += chunk
+        else:
+            while length < limit and raw[cand + length] == raw[pos + length]:
+                length += 1
+            break
+    return length
+
+
+def lz77_reconstruct(
+    literals: np.ndarray, lengths: np.ndarray, distances: np.ndarray
+) -> bytes:
+    """Expand LZ77 tokens back to the original byte string."""
+    out = bytearray()
+    for lit, length, dist in zip(
+        literals.tolist(), lengths.tolist(), distances.tolist()
+    ):
+        if length == 0:
+            out.append(lit)
+        else:
+            if dist <= 0 or dist > len(out):
+                raise ValueError(
+                    f"invalid back-reference: distance {dist} at size {len(out)}"
+                )
+            start = len(out) - dist
+            if dist >= length:
+                out += out[start : start + length]
+            else:  # overlapping copy replicates the window
+                for k in range(length):
+                    out.append(out[start + k])
+    return bytes(out)

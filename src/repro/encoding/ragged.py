@@ -1,0 +1,77 @@
+"""Index arithmetic for ragged (variable-length per segment) arrays.
+
+Every vectorized variable-length coder in this package reduces to the same
+pattern: per-segment lengths are known, segments are concatenated flat, and
+we need to map between (segment, position-in-segment) and flat offsets with
+no Python-level loops.  These helpers centralize that index algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "segment_starts",
+    "segment_ids",
+    "intra_segment_positions",
+    "ragged_take",
+    "last_true_index",
+    "count_true_per_segment",
+]
+
+
+def segment_starts(lengths: np.ndarray) -> np.ndarray:
+    """Flat start offset of each segment (exclusive prefix sum of lengths)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    out = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out[1:])
+    return out
+
+
+def segment_ids(lengths: np.ndarray) -> np.ndarray:
+    """Segment index of every flat element: ``[0,0,..,1,1,..,2,...]``."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+
+
+def intra_segment_positions(lengths: np.ndarray) -> np.ndarray:
+    """Position of every flat element inside its own segment.
+
+    ``lengths=[3,1,2]`` yields ``[0,1,2, 0, 0,1]``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        segment_starts(lengths), lengths
+    )
+
+
+def ragged_take(
+    flat: np.ndarray, lengths: np.ndarray, seg: np.ndarray, pos: np.ndarray
+) -> np.ndarray:
+    """Gather ``flat[start(seg) + pos]`` for per-segment flat storage."""
+    starts = segment_starts(lengths)
+    return flat[starts[seg] + pos]
+
+
+def last_true_index(mask: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Index of the last True along ``axis``; -1 where the slice is all False.
+
+    Used by the ZFP-like coder to find the final significant coefficient of
+    a bit plane in every block at once.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    n = mask.shape[axis]
+    idx = np.arange(1, n + 1, dtype=np.int64)
+    shape = [1] * mask.ndim
+    shape[axis] = n
+    scored = np.where(mask, idx.reshape(shape), 0)
+    return scored.max(axis=axis) - 1
+
+
+def count_true_per_segment(mask: np.ndarray, seg: np.ndarray, nseg: int) -> np.ndarray:
+    """Count True entries of ``mask`` grouped by segment id."""
+    mask = np.asarray(mask, dtype=bool)
+    return np.bincount(seg[mask], minlength=nseg).astype(np.int64)

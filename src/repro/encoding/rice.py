@@ -1,0 +1,131 @@
+"""Golomb-Rice coding for non-negative integers.
+
+Used by the ISABELA baseline's error-repair stream and available as a
+lightweight alternative to Huffman when the source is geometric.  Encoding
+is vectorized (unary quotient + ``k``-bit remainder via
+:func:`repro.encoding.bitio.pack_varlen`); decoding walks the bit array with
+a NumPy-assisted scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitio import bytes_to_bits, pack_varlen
+
+__all__ = ["rice_encode", "rice_decode", "optimal_rice_parameter", "zigzag", "unzigzag"]
+
+_MAX_QUOTIENT = 1 << 20
+"""Safety bound: a quotient beyond this indicates corruption or a bad k."""
+
+
+def zigzag(values: np.ndarray) -> np.ndarray:
+    """Map signed integers to non-negative: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    values = np.asarray(values, dtype=np.int64)
+    return ((values << 1) ^ (values >> 63)).astype(np.uint64)
+
+
+def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag`."""
+    values = np.asarray(values, dtype=np.uint64)
+    return ((values >> np.uint64(1)).astype(np.int64)) ^ -(
+        (values & np.uint64(1)).astype(np.int64)
+    )
+
+
+def optimal_rice_parameter(values: np.ndarray) -> int:
+    """Pick ``k`` minimizing the encoded size (scanning a small k range)."""
+    values = np.asarray(values, dtype=np.uint64)
+    if values.size == 0:
+        return 0
+    mean = float(values.mean())
+    guess = max(0, int(np.log2(mean + 1.0)))
+    best_k, best_bits = 0, np.inf
+    for k in range(max(0, guess - 2), guess + 3):
+        bits = float(np.sum((values >> np.uint64(k)) + np.uint64(k) + np.uint64(1)))
+        if bits < best_bits:
+            best_k, best_bits = k, bits
+    return best_k
+
+
+def rice_encode(values: np.ndarray, k: int) -> tuple[np.ndarray, int]:
+    """Encode non-negative ints with Rice parameter ``k``.
+
+    Each value ``v`` becomes ``v >> k`` zero bits, a one bit, then the low
+    ``k`` bits of ``v``.  Returns ``(byte buffer, total_bits)``.
+    """
+    if not 0 <= k <= 57:
+        raise ValueError(f"rice parameter out of range: {k}")
+    values = np.asarray(values, dtype=np.uint64)
+    q = (values >> np.uint64(k)).astype(np.int64)
+    if q.size and q.max() > _MAX_QUOTIENT:
+        raise ValueError(
+            f"quotient {int(q.max())} too large for k={k}; choose a larger k"
+        )
+    # unary(q) + '1' + k remainder bits packed as one field per value:
+    # the field value is (1 << k) | remainder and its width is q + 1 + k.
+    remainder = values & ((np.uint64(1) << np.uint64(k)) - np.uint64(1))
+    field = (np.uint64(1) << np.uint64(k)) | remainder
+    widths = q + 1 + k
+    if widths.size and widths.max() > 64:
+        # Rare huge-quotient values: fall back to per-value chunked packing.
+        return _rice_encode_wide(values, k)
+    return pack_varlen(field, widths)
+
+
+def _rice_encode_wide(values: np.ndarray, k: int) -> tuple[np.ndarray, int]:
+    """Slow path when some unary runs exceed the 64-bit packing field."""
+    from repro.encoding.bitio import BitWriter
+
+    w = BitWriter()
+    for v in values:
+        q = int(v) >> k
+        for _ in range(q):
+            w.write(0, 1)
+        w.write(1, 1)
+        w.write(int(v) & ((1 << k) - 1), k)
+    return np.frombuffer(w.getvalue(), dtype=np.uint8), w.bit_length
+
+
+def rice_decode(
+    buf: bytes | np.ndarray, n: int, k: int, bit_offset: int = 0
+) -> tuple[np.ndarray, int]:
+    """Decode ``n`` Rice-coded values; returns ``(values, bits_consumed)``.
+
+    The unary terminators are located with one vectorized pass over the bit
+    array: every '1' bit that is not inside a remainder field terminates a
+    quotient, and remainder fields occupy exactly ``k`` bits after each
+    terminator, so terminators can be found iteratively in ``O(n)`` with
+    NumPy slicing rather than per-bit Python work.
+    """
+    if not 0 <= k <= 57:
+        raise ValueError(f"rice parameter out of range: {k}")
+    bits = bytes_to_bits(buf)[bit_offset:]
+    values = np.zeros(n, dtype=np.uint64)
+    if n == 0:
+        return values, 0
+    ones = np.flatnonzero(bits == 1)
+    pos = 0  # cursor within bits
+    ones_idx = 0  # cursor within `ones`
+    powers = (np.uint64(1) << np.arange(k, dtype=np.uint64))[::-1] if k else None
+    for i in range(n):
+        # Find the first set bit at or after pos: advance within `ones`.
+        while ones_idx < ones.size and ones[ones_idx] < pos:
+            ones_idx += 1
+        if ones_idx >= ones.size:
+            raise EOFError("rice stream exhausted before all values decoded")
+        term = int(ones[ones_idx])
+        q = term - pos
+        if q > _MAX_QUOTIENT:
+            raise ValueError("corrupt rice stream: unary run too long")
+        rem_start = term + 1
+        if rem_start + k > bits.size:
+            raise EOFError("rice stream exhausted inside remainder")
+        if k:
+            rem = int(bits[rem_start : rem_start + k].astype(np.uint64) @ powers)
+        else:
+            rem = 0
+        values[i] = (q << k) | rem
+        pos = rem_start + k
+        ones_idx += 1
+    return values, pos

@@ -1,0 +1,11 @@
+"""Experiment runners: one module per table/figure of the paper (§V-§VI).
+
+Use :func:`repro.experiments.registry.run_experiment` or the ``repro-sz``
+CLI.  Every runner returns a :class:`repro.experiments.common.Table`
+whose rows mirror the paper's rows/series.
+"""
+
+from repro.experiments.common import Table
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "Table", "run_experiment"]

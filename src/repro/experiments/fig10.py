@@ -1,0 +1,36 @@
+"""Figure 10: codec + compressed-I/O time vs initial-data I/O time.
+
+Stacked time shares per process count on the Blues + GPFS model.  The
+paper's conclusion: from ~32 processes, writing/reading the *initial*
+data costs more than compressing/decompressing plus writing/reading the
+*compressed* data, so SZ-1.4 reduces end-to-end I/O time, and the I/O
+share keeps growing with scale (filesystem saturation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Table
+from repro.parallel import ParallelIOModel
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0, data_gb: float = 2500.0) -> Table:
+    table = Table("Figure 10: time shares, compression+I/O vs initial I/O")
+    for mode, single in (("write/comp", 0.09), ("read/decomp", 0.20)):
+        model = ParallelIOModel()
+        for b in model.sweep(data_gb=data_gb, codec_single_gb_s=single):
+            codec_s, comp_io_s, init_io_s = b.shares
+            table.add(
+                mode=mode,
+                processes=b.processes,
+                codec_share=f"{codec_s:.1%}",
+                compressed_io_share=f"{comp_io_s:.1%}",
+                initial_io_share=f"{init_io_s:.1%}",
+                compression_pays=b.compression_pays_off,
+            )
+    table.note(
+        "paper: crossover at ~32 processes; initial-data I/O share grows "
+        "with process count as the shared filesystem saturates"
+    )
+    return table

@@ -1,0 +1,40 @@
+"""Figure 3: distribution of error-controlled quantization codes.
+
+255 intervals (m=8) on ATM-like data: at eb_rel 1e-3 the distribution
+spikes hard at the center code (~45% in the paper's (a) panel); at 1e-4
+it spreads (~12% peak, panel (b)).  The uneven distribution is what makes
+the variable-length encoding pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import compress_with_stats
+from repro.datasets import load
+from repro.experiments.common import Table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0, spread: int = 8) -> Table:
+    data = load("ATM", scale=scale, seed=seed)["FREQSH"]
+    table = Table(
+        "Figure 3: quantization-code distribution (255 intervals, m=8, "
+        "ATM-like FREQSH)"
+    )
+    for eb_rel in (1e-3, 1e-4):
+        _, stats = compress_with_stats(data, rel_bound=eb_rel, interval_bits=8)
+        hist = stats.code_histogram.astype(np.float64)
+        shares = hist / hist.sum()
+        center = 128
+        row = {"eb_rel": f"{eb_rel:.0e}", "peak_share": f"{shares.max():.1%}"}
+        for code in range(center - spread, center + spread + 1):
+            row[f"c{code}"] = f"{shares[code]:.2%}"
+        row["unpred(c0)"] = f"{shares[0]:.2%}"
+        table.add(**row)
+    table.note(
+        "paper: peak ~45% at eb 1e-3, ~12% at 1e-4, both centered on code "
+        "128 with near-symmetric decay"
+    )
+    return table

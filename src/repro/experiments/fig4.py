@@ -1,0 +1,41 @@
+"""Figure 4: prediction hitting rate vs error bound per interval count.
+
+Reproduces both panels: (a) 2-D ATM-like with 15..4095 intervals and
+(b) 3-D hurricane-like with 63..65535 intervals.  The signature shape: a
+plateau above 90% that collapses once the bound is too tight for the
+interval count, with larger interval counts pushing the collapse to
+tighter bounds.
+"""
+
+from __future__ import annotations
+
+from repro.core import compress_with_stats
+from repro.datasets import load
+from repro.experiments.common import Table
+
+__all__ = ["run"]
+
+ERROR_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8)
+PANELS = {
+    "ATM": ("FREQSH", (4, 6, 8, 11, 12)),        # 15..4095 intervals
+    "Hurricane": ("U", (6, 9, 12, 14, 16)),       # 63..65535 intervals
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> Table:
+    table = Table("Figure 4: hitting rate vs eb_rel per interval count")
+    for dataset, (variable, interval_bits) in PANELS.items():
+        data = load(dataset, scale=scale, seed=seed)[variable]
+        for m in interval_bits:
+            row = {"panel": dataset, "intervals": (1 << m) - 1}
+            for eb in ERROR_BOUNDS:
+                _, stats = compress_with_stats(
+                    data, rel_bound=eb, interval_bits=m
+                )
+                row[f"eb {eb:.0e}"] = f"{stats.hit_rate:.1%}"
+            table.add(**row)
+    table.note(
+        "paper shape: >90% plateau then sharp collapse; more intervals "
+        "cover tighter bounds (e.g. 511 intervals drop 97.1%->41.4% at 1e-6)"
+    )
+    return table

@@ -1,0 +1,39 @@
+"""Figure 7: compression factors at *matched* maximum error.
+
+For fairness to over-conservative ZFP, SZ-1.4 is re-run with its input
+bound set to ZFP's realized max error, making both compressors' max
+errors equal; SZ-1.4 still wins (paper: +162% on ATM, +71% on hurricane
+at the 1e-3-derived point).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments.common import Table, run_sz14, run_zfp_accuracy
+from repro.experiments.table5 import PANELS, USER_BOUNDS
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> Table:
+    table = Table("Figure 7: CF at matched max error (SZ-1.4 vs ZFP)")
+    for dataset, variable in PANELS.items():
+        data = load(dataset, scale=scale, seed=seed)[variable]
+        for eb in USER_BOUNDS:
+            zf = run_zfp_accuracy(data, rel_bound=eb)
+            matched = zf.max_rel
+            if matched <= 0:
+                continue
+            sz = run_sz14(data, rel_bound=matched)
+            table.add(
+                panel=dataset,
+                matched_max_rel=f"{matched:.1e}",
+                sz14_cf=round(sz.cf, 2),
+                zfp_cf=round(zf.cf, 2),
+                sz14_gain=f"{100 * (sz.cf / zf.cf - 1):.0f}%",
+            )
+    table.note(
+        "paper: +162% avg on ATM at matched 4.3e-4, +71% on hurricane at "
+        "matched 1.8e-4 — SZ-1.4 should lead at every matched point"
+    )
+    return table

@@ -1,0 +1,80 @@
+"""Figure 8: rate-distortion (PSNR vs bit-rate) for the lossy compressors.
+
+ZFP runs in its native fixed-rate mode at integer rates; the error-bounded
+compressors sweep bounds and report their realized bit-rates.  The paper's
+shape: SZ-1.4 dominates on 2-D (≈14 dB over ZFP at 8 bits/value on ATM,
+≈9 dB on APS); on 3-D hurricane ZFP is competitive at ≤2 bits/value and
+SZ-1.4 wins above.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments.common import (
+    Table,
+    run_isabela,
+    run_sz11,
+    run_sz14,
+    run_zfp_rate,
+)
+from repro.experiments.fig6 import PANEL_VARIABLES
+
+__all__ = ["run"]
+
+ZFP_RATES = (1, 2, 4, 6, 8, 12, 16)
+EB_SWEEP = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7)
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: tuple = ("ATM", "APS", "Hurricane"),
+    zfp_rates: tuple = ZFP_RATES,
+    eb_sweep: tuple = EB_SWEEP,
+) -> Table:
+    table = Table("Figure 8: rate-distortion (bit-rate in bits/value, PSNR in dB)")
+    for dataset in datasets:
+        data = load(dataset, scale=scale, seed=seed)[PANEL_VARIABLES[dataset]]
+        for rate in zfp_rates:
+            res = run_zfp_rate(data, rate)
+            table.add(
+                panel=dataset, compressor="ZFP-like",
+                bit_rate=round(res.bit_rate, 2), psnr_db=round(res.psnr, 1),
+            )
+        for runner, name in ((run_sz14, "SZ-1.4"), (run_sz11, "SZ-1.1")):
+            for eb in eb_sweep:
+                res = runner(data, rel_bound=eb)
+                if res.bit_rate > 17:
+                    continue  # paper plots only <= 16 bits/value
+                table.add(
+                    panel=dataset, compressor=name,
+                    bit_rate=round(res.bit_rate, 2), psnr_db=round(res.psnr, 1),
+                )
+        for eb in eb_sweep[:4]:
+            res = run_isabela(data, rel_bound=eb)
+            if res.failed:
+                continue
+            table.add(
+                panel=dataset, compressor="ISABELA",
+                bit_rate=round(res.bit_rate, 2), psnr_db=round(res.psnr, 1),
+            )
+    table.note(
+        "paper @8 bits/value: ATM SZ-1.4 103dB vs ZFP 89dB; APS 96 vs 87; "
+        "hurricane 182 vs 171 (ZFP competitive only at ~2 bits/value)"
+    )
+    return table
+
+
+def psnr_at_rate(table: Table, panel: str, compressor: str, rate: float) -> float:
+    """Interpolated PSNR of one curve at a given bit-rate."""
+    import numpy as np
+
+    pts = sorted(
+        (r["bit_rate"], r["psnr_db"])
+        for r in table.rows
+        if r["panel"] == panel and r["compressor"] == compressor
+    )
+    if not pts:
+        return float("nan")
+    xs, ys = zip(*pts)
+    return float(np.interp(rate, xs, ys))

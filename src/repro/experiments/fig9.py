@@ -1,0 +1,72 @@
+"""Figure 9: autocorrelation of compression errors, SZ-1.4 vs ZFP.
+
+Two ATM-like variables at eb_rel=1e-4: FREQSH (low CF ~6.5) where SZ-1.4's
+error autocorrelation is tiny (max ~4e-3) and far below ZFP's (~0.25);
+SNOWHLND (high CF ~48) where the relation flips (SZ ~0.5 vs ZFP ~0.23) —
+the weakness the paper's future work targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ZFPLike
+from repro.core import compress, decompress
+from repro.datasets import load
+from repro.experiments.common import Table
+from repro.metrics import autocorrelation
+
+__all__ = ["run"]
+
+VARIABLES = ("FREQSH", "SNOWHLND")
+LAG_SAMPLES = (1, 2, 5, 10, 25, 50, 100)
+
+
+def error_acf(data: np.ndarray, recon: np.ndarray, max_lag: int = 100) -> np.ndarray:
+    err = data.astype(np.float64).ravel() - recon.astype(np.float64).ravel()
+    return autocorrelation(err, max_lag)
+
+
+def run(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) -> Table:
+    table = Table(
+        f"Figure 9: error autocorrelation (first 100 lags, eb_rel={rel_bound:g})"
+    )
+    atm = load("ATM", scale=scale, seed=seed)
+    for variable in VARIABLES:
+        data = atm[variable]
+        eb = rel_bound * float(data.max() - data.min())
+
+        blob = compress(data, abs_bound=eb)
+        sz_out = decompress(blob)
+        sz_acf = error_acf(data, sz_out)
+        sz_cf = data.nbytes / len(blob)
+
+        z = ZFPLike(mode="accuracy", tolerance=eb)
+        zblob = z.compress(data)
+        zfp_out = z.decompress(zblob)
+        zfp_acf = error_acf(data, zfp_out)
+        zfp_cf = data.nbytes / len(zblob)
+
+        for name, acf, cf in (
+            ("SZ-1.4", sz_acf, sz_cf),
+            ("ZFP-like", zfp_acf, zfp_cf),
+        ):
+            row = {
+                "variable": variable,
+                "compressor": name,
+                "CF": round(cf, 1),
+                "max_|acf|": f"{np.abs(acf).max():.2e}",
+            }
+            for lag in LAG_SAMPLES:
+                row[f"lag{lag}"] = f"{acf[lag - 1]:+.3f}"
+            table.add(**row)
+    table.note(
+        "paper: on FREQSH (low CF) SZ max|acf| ~4e-3 << ZFP ~0.25; on "
+        "SNOWHLND (high CF) SZ ~0.5 > ZFP ~0.23 — the ordering flips"
+    )
+    table.note(
+        "repro: the low-CF ordering holds at every scale; the high-CF "
+        "flip shows at scale=tiny (rougher patches) but not at small — "
+        "see EXPERIMENTS.md"
+    )
+    return table

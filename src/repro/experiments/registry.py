@@ -1,0 +1,77 @@
+"""Experiment registry mapping paper artifacts to runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    fig3,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.common import Table
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    name: str
+    paper_artifact: str
+    description: str
+    runner: Callable[..., Table]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.name: e
+    for e in [
+        Experiment("table2", "Table II",
+                   "prediction hitting rate per layer (orig vs decomp)",
+                   table2.run),
+        Experiment("table3", "Table III", "data set inventory", table3.run),
+        Experiment("fig3", "Figure 3",
+                   "quantization-code distribution at m=8", fig3.run),
+        Experiment("fig4", "Figure 4",
+                   "hitting rate vs eb per interval count", fig4.run),
+        Experiment("fig6", "Figure 6",
+                   "compression factors, all compressors", fig6.run),
+        Experiment("fig7", "Figure 7",
+                   "CF at matched max error (SZ-1.4 vs ZFP)", fig7.run),
+        Experiment("fig8", "Figure 8", "rate-distortion curves", fig8.run),
+        Experiment("fig9", "Figure 9",
+                   "error autocorrelation, FREQSH/SNOWHLND", fig9.run),
+        Experiment("fig10", "Figure 10",
+                   "compression+I/O vs initial-I/O time shares", fig10.run),
+        Experiment("table4", "Table IV",
+                   "Pearson rho at matched max errors", table4.run),
+        Experiment("table5", "Table V",
+                   "max errors: SZ-1.4 exact vs ZFP conservative", table5.run),
+        Experiment("table6", "Table VI",
+                   "compression/decompression speed", table6.run),
+        Experiment("table7", "Table VII",
+                   "parallel compression strong scaling", table7.run),
+        Experiment("table8", "Table VIII",
+                   "parallel decompression strong scaling", table8.run),
+    ]
+}
+
+
+def run_experiment(name: str, scale: str = "small", **kwargs) -> Table:
+    """Run a registered experiment by name."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name].runner(scale=scale, **kwargs)

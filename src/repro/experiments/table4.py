@@ -1,0 +1,43 @@
+"""Table IV: Pearson correlation at matched maximum compression errors.
+
+All three lossy compressors are driven to the *same* realized max error
+(ZFP's, as in Table V) and compared on rho; the paper finds all reach
+"five nines" (>= 0.99999) from the second row down.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments.common import Table, run_sz11, run_sz14, run_zfp_accuracy
+from repro.experiments.table5 import PANELS, USER_BOUNDS
+from repro.metrics.correlation import nines
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> Table:
+    table = Table("Table IV: Pearson rho at matched max compression errors")
+    for dataset, variable in PANELS.items():
+        data = load(dataset, scale=scale, seed=seed)[variable]
+        for eb in USER_BOUNDS:
+            zf = run_zfp_accuracy(data, rel_bound=eb)
+            matched = zf.max_rel
+            if matched <= 0:
+                continue
+            sz14 = run_sz14(data, rel_bound=matched)
+            sz11 = run_sz11(data, rel_bound=matched)
+            table.add(
+                panel=dataset,
+                matched_max_rel=f"{matched:.1e}",
+                sz14_rho_nines=nines(sz14.rho),
+                zfp_rho_nines=nines(zf.rho),
+                sz11_rho_nines=nines(sz11.rho),
+                five_nines_all=all(
+                    nines(r) >= 5 for r in (sz14.rho, zf.rho, sz11.rho)
+                ),
+            )
+    table.note(
+        "paper: all three compressors reach >=5 nines from matched error "
+        "~4e-4 (ATM) / ~2e-4 (hurricane) downward"
+    )
+    return table

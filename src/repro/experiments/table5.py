@@ -1,0 +1,51 @@
+"""Table V: maximum compression errors (normalized) — SZ-1.4 vs ZFP.
+
+SZ-1.4 realizes max error exactly at the user bound (its quantization
+intervals are sized by it); ZFP is over-conservative, realizing a small
+fraction of the bound (paper: e.g. user 1e-3 -> ZFP 4.3e-4 on ATM).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments.common import Table, run_sz14, run_zfp_accuracy
+
+__all__ = ["run", "zfp_realized_errors"]
+
+USER_BOUNDS = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6)
+PANELS = {"ATM": "FREQSH", "Hurricane": "U"}
+
+
+def zfp_realized_errors(scale: str = "small", seed: int = 0) -> dict:
+    """{(dataset, user_eb): zfp max rel error} — feeds Fig. 7 / Table IV."""
+    out = {}
+    for dataset, variable in PANELS.items():
+        data = load(dataset, scale=scale, seed=seed)[variable]
+        for eb in USER_BOUNDS:
+            res = run_zfp_accuracy(data, rel_bound=eb)
+            out[(dataset, eb)] = res.max_rel
+    return out
+
+
+def run(scale: str = "small", seed: int = 0) -> Table:
+    table = Table(
+        "Table V: max compression error (normalized to value range) per "
+        "user-set eb_rel"
+    )
+    for dataset, variable in PANELS.items():
+        data = load(dataset, scale=scale, seed=seed)[variable]
+        for eb in USER_BOUNDS:
+            sz = run_sz14(data, rel_bound=eb)
+            zf = run_zfp_accuracy(data, rel_bound=eb)
+            table.add(
+                panel=dataset,
+                user_eb=f"{eb:.0e}",
+                sz14_max_rel=f"{sz.max_rel:.2e}",
+                zfp_max_rel=f"{zf.max_rel:.2e}",
+                zfp_over_conservatism=f"{zf.max_rel / eb:.2f}x",
+            )
+    table.note(
+        "paper: SZ-1.4 realizes exactly the bound; ZFP realizes 0.18-0.43x "
+        "of it (ATM 1e-3 -> 4.3e-4, hurricane 1e-3 -> 1.8e-4)"
+    )
+    return table

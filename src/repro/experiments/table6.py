@@ -1,0 +1,48 @@
+"""Table VI: compression/decompression speed (MB/s), SZ-1.4 vs ZFP.
+
+Absolute speeds are not comparable to the paper (pure Python vs C on an
+iMac), and the *relative* ordering flips: real zfp's C transform is
+faster than SZ's pointwise pass, whereas our vectorized wavefront beats
+our plane-by-plane ZFP-like coder.  The reproducible shape is
+within-compressor: throughput decreases as the bound tightens.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments.common import (
+    LOSSY_ERROR_BOUNDS,
+    Table,
+    run_sz14,
+    run_zfp_accuracy,
+)
+from repro.experiments.fig6 import PANEL_VARIABLES
+
+__all__ = ["run"]
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    datasets: tuple = ("ATM", "APS", "Hurricane"),
+) -> Table:
+    table = Table("Table VI: compression / decompression speed (MB/s)")
+    for dataset in datasets:
+        data = load(dataset, scale=scale, seed=seed)[PANEL_VARIABLES[dataset]]
+        for eb in LOSSY_ERROR_BOUNDS:
+            sz = run_sz14(data, rel_bound=eb)
+            zf = run_zfp_accuracy(data, rel_bound=eb)
+            table.add(
+                panel=dataset,
+                eb_rel=f"{eb:.0e}",
+                sz14_comp=round(sz.comp_mb_s, 1),
+                sz14_decomp=round(sz.decomp_mb_s, 1),
+                zfp_comp=round(zf.comp_mb_s, 1),
+                zfp_decomp=round(zf.decomp_mb_s, 1),
+            )
+    table.note(
+        "paper (C code, iMac): SZ-1.4 ~46-85 MB/s comp, ZFP ~84-252 MB/s; "
+        "speeds fall as eb tightens — that trend is the reproducible shape; "
+        "absolute values and the SZ/ZFP ordering are implementation-bound"
+    )
+    return table

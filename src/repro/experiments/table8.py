@@ -1,0 +1,32 @@
+"""Table VIII: strong scalability of parallel decompression (1..1024).
+
+Same structure as Table VII with the paper's decompression base speed
+(0.20 GB/s single-process -> 187 GB/s at 1024)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import Table
+from repro.experiments.table7 import _PAPER_EFFICIENCY, run_measured
+from repro.parallel import BluesClusterModel
+
+__all__ = ["run", "run_measured_decomp"]
+
+
+def run_measured_decomp(scale: str = "small", seed: int = 0) -> Table:
+    return run_measured(scale=scale, seed=seed, mode="decomp")
+
+
+def run(scale: str = "small", seed: int = 0) -> Table:
+    table = Table("Table VIII: strong scaling of parallel decompression (model)")
+    model = BluesClusterModel(single_process_gb_s=0.20)
+    for row in model.strong_scaling():
+        table.add(
+            processes=row.processes,
+            nodes=row.nodes,
+            decomp_speed_gb_s=round(row.speed_gb_s, 2),
+            speedup=round(row.speedup, 1),
+            efficiency=f"{row.efficiency:.1%}",
+            paper_efficiency=f"{_PAPER_EFFICIENCY[row.processes]:.1%}",
+        )
+    table.note("paper: 0.20 GB/s at 1 proc -> 187.0 GB/s at 1024 (91.1%)")
+    return table

@@ -1,0 +1,36 @@
+"""Compression-quality metrics (paper Section II, Metrics 1-5)."""
+
+from repro.metrics.correlation import (
+    autocorrelation,
+    five_nines,
+    pearson,
+)
+from repro.metrics.errors import (
+    max_abs_error,
+    max_rel_error,
+    nrmse,
+    psnr,
+    rmse,
+)
+from repro.metrics.rates import (
+    bit_rate,
+    compression_factor,
+    throughput_mb_s,
+)
+from repro.metrics.report import QualityReport, evaluate
+
+__all__ = [
+    "QualityReport",
+    "autocorrelation",
+    "bit_rate",
+    "compression_factor",
+    "evaluate",
+    "five_nines",
+    "max_abs_error",
+    "max_rel_error",
+    "nrmse",
+    "pearson",
+    "psnr",
+    "rmse",
+    "throughput_mb_s",
+]

@@ -1,0 +1,64 @@
+"""Correlation metrics (Metric 3) and error autocorrelation (Fig. 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson", "five_nines", "autocorrelation"]
+
+FIVE_NINES = 0.99999
+"""The APAX-profiler threshold the paper cites: rho should be >= 0.99999."""
+
+
+def pearson(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Pearson correlation coefficient rho, Eq. (4), over finite pairs."""
+    a = np.asarray(original, dtype=np.float64).ravel()
+    b = np.asarray(reconstructed, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch")
+    mask = np.isfinite(a) & np.isfinite(b)
+    a, b = a[mask], b[mask]
+    if a.size < 2:
+        return 1.0
+    sa, sb = a.std(), b.std()
+    if sa == 0.0 or sb == 0.0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(np.mean((a - a.mean()) * (b - b.mean())) / (sa * sb))
+
+
+def five_nines(original: np.ndarray, reconstructed: np.ndarray) -> bool:
+    """True when rho reaches the 'five nines' bar."""
+    return pearson(original, reconstructed) >= FIVE_NINES
+
+
+def nines(rho: float) -> int:
+    """Number of leading nines in rho (e.g. 0.9999982 -> 5); 0 if rho < 0.9."""
+    if rho >= 1.0:
+        return 16
+    if rho < 0.9:
+        return 0
+    return int(np.floor(-np.log10(1.0 - rho)))
+
+
+def autocorrelation(series: np.ndarray, max_lag: int = 100) -> np.ndarray:
+    """First ``max_lag`` autocorrelation coefficients of a 1-D series.
+
+    Used on the *compression error* ``x - x~`` linearized in raster order
+    (paper Fig. 9).  Lag 0 is omitted, matching the figure which plots
+    lags 1..100.
+    """
+    x = np.asarray(series, dtype=np.float64).ravel()
+    x = x[np.isfinite(x)]
+    n = x.size
+    if n < 2:
+        return np.zeros(max_lag)
+    x = x - x.mean()
+    denom = float(x @ x)
+    if denom == 0.0:
+        return np.zeros(max_lag)
+    out = np.empty(min(max_lag, n - 1))
+    for lag in range(1, out.size + 1):
+        out[lag - 1] = float(x[:-lag] @ x[lag:]) / denom
+    if out.size < max_lag:
+        out = np.pad(out, (0, max_lag - out.size))
+    return out

@@ -1,0 +1,77 @@
+"""Point-wise and average compression-error metrics (Metrics 1-2).
+
+Implements the paper's Eqs. (1)-(3): RMSE, NRMSE and PSNR, plus the
+point-wise maxima used for bound verification.  All comparisons happen in
+float64 regardless of the input dtypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_abs_error", "max_rel_error", "rmse", "nrmse", "psnr", "value_range"]
+
+
+def _as64(original: np.ndarray, reconstructed: np.ndarray):
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def value_range(original: np.ndarray) -> float:
+    """``R_X = x_max - x_min`` over finite values."""
+    a = np.asarray(original, dtype=np.float64)
+    finite = a[np.isfinite(a)]
+    if finite.size == 0:
+        return 0.0
+    return float(finite.max() - finite.min())
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """``max_i |x_i - x~_i|`` over finite pairs (Metric 1)."""
+    a, b = _as64(original, reconstructed)
+    mask = np.isfinite(a) & np.isfinite(b)
+    if not mask.any():
+        return 0.0
+    return float(np.abs(a[mask] - b[mask]).max())
+
+
+def max_rel_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Value-range-based relative error max (Metric 1)."""
+    r = value_range(original)
+    if r == 0.0:
+        return 0.0
+    return max_abs_error(original, reconstructed) / r
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error, Eq. (1)."""
+    a, b = _as64(original, reconstructed)
+    mask = np.isfinite(a) & np.isfinite(b)
+    if not mask.any():
+        return 0.0
+    return float(np.sqrt(np.mean((a[mask] - b[mask]) ** 2)))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Normalized RMSE, Eq. (2)."""
+    r = value_range(original)
+    if r == 0.0:
+        return 0.0
+    return rmse(original, reconstructed) / r
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, Eq. (3).
+
+    ``+inf`` for an exact reconstruction.
+    """
+    e = rmse(original, reconstructed)
+    r = value_range(original)
+    if e == 0.0:
+        return float("inf")
+    if r == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(r / e))

@@ -1,0 +1,37 @@
+"""Size and speed metrics (Metrics 4-5): CF, bit-rate, throughput."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_factor", "bit_rate", "throughput_mb_s", "check_identity"]
+
+
+def compression_factor(original_bytes: int, compressed_bytes: int) -> float:
+    """``CF = |F_orig| / |F_comp|``, Eq. (5)."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bit_rate(compressed_bytes: int, n_values: int) -> float:
+    """Amortized bits per value, Eq. (6)."""
+    if n_values <= 0:
+        raise ValueError("value count must be positive")
+    return 8.0 * compressed_bytes / n_values
+
+
+def throughput_mb_s(n_bytes: int, seconds: float) -> float:
+    """Throughput in MB/s (Metric 5)."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return n_bytes / 1e6 / seconds
+
+
+def check_identity(
+    original_bytes: int, compressed_bytes: int, n_values: int, word_bits: int
+) -> bool:
+    """Paper identity ``BR * CF == word_bits`` (32 or 64)."""
+    cf = compression_factor(original_bytes, compressed_bytes)
+    br = bit_rate(compressed_bytes, n_values)
+    return bool(np.isclose(br * cf, word_bits))

@@ -1,0 +1,119 @@
+"""One-call compression quality report (all of the paper's metrics).
+
+Bundles Metrics 1-5 of Section II into a single dataclass with a
+markdown renderer — the "APAX-profiler-style" summary a practitioner
+checks before adopting a bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.correlation import autocorrelation, pearson
+from repro.metrics.errors import (
+    max_abs_error,
+    max_rel_error,
+    nrmse,
+    psnr,
+    rmse,
+    value_range,
+)
+from repro.metrics.rates import bit_rate, compression_factor, throughput_mb_s
+
+__all__ = ["QualityReport", "evaluate"]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Everything Section II asks of a (data, compressor, bound) triple."""
+
+    n_values: int
+    original_bytes: int
+    compressed_bytes: int
+    compression_factor: float
+    bit_rate: float
+    max_abs_error: float
+    max_rel_error: float
+    rmse: float
+    nrmse: float
+    psnr_db: float
+    pearson_rho: float
+    max_error_acf: float
+    comp_mb_s: float
+    decomp_mb_s: float
+
+    @property
+    def five_nines(self) -> bool:
+        return self.pearson_rho >= 0.99999
+
+    def within(self, abs_bound: float | None = None,
+               rel_bound: float | None = None) -> bool:
+        """Did the compressor respect the requested bound(s)?"""
+        ok = True
+        if abs_bound is not None:
+            ok &= self.max_abs_error <= abs_bound * (1 + 1e-12)
+        if rel_bound is not None:
+            ok &= self.max_rel_error <= rel_bound * (1 + 1e-12)
+        return bool(ok)
+
+    def to_markdown(self) -> str:
+        rows = [
+            ("values", f"{self.n_values:,}"),
+            ("size", f"{self.original_bytes:,} -> {self.compressed_bytes:,} B"),
+            ("compression factor", f"{self.compression_factor:.2f}x"),
+            ("bit rate", f"{self.bit_rate:.2f} bits/value"),
+            ("max abs error", f"{self.max_abs_error:.3e}"),
+            ("max rel error", f"{self.max_rel_error:.3e}"),
+            ("RMSE / NRMSE", f"{self.rmse:.3e} / {self.nrmse:.3e}"),
+            ("PSNR", f"{self.psnr_db:.1f} dB"),
+            ("Pearson rho", f"{self.pearson_rho:.8f}"
+                            f"{' (five nines)' if self.five_nines else ''}"),
+            ("max |error acf|", f"{self.max_error_acf:.3e}"),
+            ("throughput", f"{self.comp_mb_s:.1f} / {self.decomp_mb_s:.1f} MB/s"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        lines = ["| metric | value |", "|---|---|"]
+        lines += [f"| {k.ljust(width)} | {v} |" for k, v in rows]
+        return "\n".join(lines)
+
+
+def evaluate(
+    data: np.ndarray,
+    compress_fn,
+    decompress_fn,
+    acf_lags: int = 100,
+) -> QualityReport:
+    """Run one compressor over ``data`` and collect every metric.
+
+    ``compress_fn``/``decompress_fn`` are callables, e.g.
+    ``lambda d: repro.compress(d, rel_bound=1e-4)`` and
+    ``repro.decompress``.
+    """
+    data = np.asarray(data)
+    t0 = time.perf_counter()
+    blob = compress_fn(data)
+    t1 = time.perf_counter()
+    out = decompress_fn(blob)
+    t2 = time.perf_counter()
+    err = data.astype(np.float64).ravel() - out.astype(np.float64).ravel()
+    err = err[np.isfinite(err)]
+    acf = autocorrelation(err, acf_lags) if err.size > 2 else np.zeros(1)
+    return QualityReport(
+        n_values=data.size,
+        original_bytes=data.nbytes,
+        compressed_bytes=len(blob),
+        compression_factor=compression_factor(data.nbytes, len(blob)),
+        bit_rate=bit_rate(len(blob), data.size),
+        max_abs_error=max_abs_error(data, out),
+        max_rel_error=max_rel_error(data, out),
+        rmse=rmse(data, out),
+        nrmse=nrmse(data, out),
+        psnr_db=psnr(data, out),
+        pearson_rho=pearson(data, out),
+        max_error_acf=float(np.abs(acf).max()),
+        comp_mb_s=throughput_mb_s(data.nbytes, t1 - t0),
+        decomp_mb_s=throughput_mb_s(data.nbytes, t2 - t1),
+    )

@@ -1,0 +1,32 @@
+"""Parallel compression (paper Section VI).
+
+``pool`` runs real process-parallel compression on the local machine
+(the paper's off-line mode: independent files/chunks, no inter-process
+communication).  ``cluster`` extends the measured single-process speed to
+the paper's 64-node Blues configuration with a documented node-contention
+model, reproducing Tables VII/VIII.  ``io_model`` adds the shared-
+filesystem bandwidth model behind Figure 10.
+"""
+
+from repro.parallel.cluster import BluesClusterModel, ScalingRow
+from repro.parallel.files import create_archive, extract, extract_all, read_manifest
+from repro.parallel.io_model import IOBreakdown, ParallelIOModel
+from repro.parallel.pool import (
+    parallel_compress,
+    parallel_decompress,
+    measure_pool_scaling,
+)
+
+__all__ = [
+    "BluesClusterModel",
+    "IOBreakdown",
+    "ParallelIOModel",
+    "ScalingRow",
+    "create_archive",
+    "extract",
+    "extract_all",
+    "measure_pool_scaling",
+    "parallel_compress",
+    "parallel_decompress",
+    "read_manifest",
+]

@@ -1,0 +1,98 @@
+"""Analytical Blues-cluster strong-scaling model (Tables VII/VIII).
+
+We cannot run on 64 Blues nodes; this model extends a measured (or the
+paper's) single-process speed to 1..1024 processes using the scheduling
+the paper describes — fill nodes breadth-first up to 64 nodes, then add
+processes per node — and a per-node memory-bandwidth contention curve
+calibrated on the paper's own parallel-efficiency column:
+
+==================  =======================
+processes per node  parallel efficiency
+==================  =======================
+1-2                 ~99.7-100 %  (linear)
+4                   ~96 %
+8                   ~90 %
+16                  ~91 %
+==================  =======================
+
+The paper attributes the drop beyond 2 processes/node to "node internal
+limitations"; the curve is exposed so other machines can be modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BluesClusterModel", "ScalingRow"]
+
+# (processes per node -> efficiency) read off Tables VII/VIII
+_DEFAULT_CONTENTION = {1: 0.9995, 2: 0.998, 4: 0.960, 8: 0.904, 16: 0.909}
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    processes: int
+    nodes: int
+    speed_gb_s: float
+    speedup: float
+    efficiency: float
+
+
+@dataclass
+class BluesClusterModel:
+    """64-node cluster with two 8-core Xeon E5-2670 per node."""
+
+    n_nodes: int = 64
+    cores_per_node: int = 16
+    single_process_gb_s: float = 0.09  # paper Table VII, 1 process
+    contention: dict = field(default_factory=lambda: dict(_DEFAULT_CONTENTION))
+
+    def _efficiency(self, ppn: float) -> float:
+        """Interpolate the per-node contention curve in log2(ppn)."""
+        pts = sorted(self.contention.items())
+        xs = np.log2([p for p, _ in pts])
+        ys = np.array([e for _, e in pts])
+        return float(np.interp(np.log2(max(ppn, 1.0)), xs, ys))
+
+    def placement(self, processes: int) -> tuple[int, float]:
+        """(nodes used, processes per node) for breadth-first placement."""
+        if processes < 1:
+            raise ValueError("need at least one process")
+        if processes > self.n_nodes * self.cores_per_node:
+            raise ValueError(
+                f"cluster holds at most {self.n_nodes * self.cores_per_node} processes"
+            )
+        nodes = min(processes, self.n_nodes)
+        return nodes, processes / nodes
+
+    def speed(self, processes: int, single_gb_s: float | None = None) -> float:
+        """Aggregate throughput (GB/s) at the given process count."""
+        s1 = single_gb_s if single_gb_s is not None else self.single_process_gb_s
+        _, ppn = self.placement(processes)
+        return processes * s1 * self._efficiency(ppn)
+
+    def strong_scaling(
+        self,
+        proc_counts: list[int] | None = None,
+        single_gb_s: float | None = None,
+    ) -> list[ScalingRow]:
+        """Rows of Table VII (or VIII when fed the decompression speed)."""
+        proc_counts = proc_counts or [2**k for k in range(11)]
+        s1 = single_gb_s if single_gb_s is not None else self.single_process_gb_s
+        base = self.speed(1, s1)
+        rows = []
+        for p in proc_counts:
+            nodes, _ = self.placement(p)
+            sp = self.speed(p, s1)
+            rows.append(
+                ScalingRow(
+                    processes=p,
+                    nodes=nodes,
+                    speed_gb_s=sp,
+                    speedup=sp / base,
+                    efficiency=sp / base / p,
+                )
+            )
+        return rows

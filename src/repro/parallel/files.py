@@ -1,0 +1,161 @@
+"""Multi-file archives: the paper's off-line compression workflow.
+
+Section VI: "ATM data sets have a total of 11400 files ... users can
+load these files by multiple processes and run our compressor in
+parallel, without inter-process communications."  This module packages
+that workflow: compress a directory of ``.npy`` snapshots (optionally in
+parallel) into one archive with a manifest, and restore or selectively
+extract from it.
+
+Archive layout::
+
+    magic 'SZAR' (4) | version (1) | entry count (4, big endian)
+    per entry: name length (2) | utf-8 name | container length (6)
+    entry containers, concatenated in manifest order
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import compress as sz_compress
+from repro.core import container_info
+from repro.core import decompress as sz_decompress
+from repro.parallel.pool import parallel_compress, parallel_decompress
+
+__all__ = ["ArchiveEntry", "create_archive", "read_manifest", "extract", "extract_all"]
+
+_MAGIC = b"SZAR"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    name: str
+    offset: int
+    length: int
+
+
+def create_archive(
+    arrays: dict[str, np.ndarray] | None = None,
+    directory: str | Path | None = None,
+    out_path: str | Path | None = None,
+    n_workers: int = 1,
+    **compress_kwargs,
+) -> bytes:
+    """Build an archive from named arrays and/or a directory of ``.npy``.
+
+    Each variable is compressed independently (its own value range and
+    bounds), so any entry can be extracted without touching the others —
+    the property that makes the paper's off-line mode embarrassingly
+    parallel.
+    """
+    items: list[tuple[str, np.ndarray]] = []
+    if arrays:
+        items.extend(sorted(arrays.items()))
+    if directory is not None:
+        for path in sorted(Path(directory).glob("*.npy")):
+            items.append((path.stem, np.load(path)))
+    if not items:
+        raise ValueError("nothing to archive")
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate entry names")
+    chunks = [arr for _, arr in items]
+    if n_workers > 1:
+        blobs = parallel_compress(chunks, n_workers=n_workers, **compress_kwargs)
+    else:
+        blobs = [sz_compress(c, **compress_kwargs) for c in chunks]
+
+    out = bytearray()
+    out += _MAGIC
+    out.append(_VERSION)
+    out += len(items).to_bytes(4, "big")
+    for name, blob in zip(names, blobs):
+        encoded = name.encode("utf-8")
+        if len(encoded) > 65535:
+            raise ValueError(f"entry name too long: {name!r}")
+        out += len(encoded).to_bytes(2, "big")
+        out += encoded
+        out += len(blob).to_bytes(6, "big")
+    for blob in blobs:
+        out += blob
+    data = bytes(out)
+    if out_path is not None:
+        Path(out_path).write_bytes(data)
+    return data
+
+
+def read_manifest(archive: bytes) -> list[ArchiveEntry]:
+    """Parse the manifest without touching any entry payload."""
+    if archive[:4] != _MAGIC:
+        raise ValueError("not an SZ archive")
+    if archive[4] != _VERSION:
+        raise ValueError(f"unsupported archive version {archive[4]}")
+    count = int.from_bytes(archive[5:9], "big")
+    pos = 9
+    metas: list[tuple[str, int]] = []
+    for _ in range(count):
+        nlen = int.from_bytes(archive[pos : pos + 2], "big")
+        pos += 2
+        name = archive[pos : pos + nlen].decode("utf-8")
+        pos += nlen
+        length = int.from_bytes(archive[pos : pos + 6], "big")
+        pos += 6
+        metas.append((name, length))
+    entries = []
+    offset = pos
+    for name, length in metas:
+        if offset + length > len(archive):
+            raise ValueError("truncated archive")
+        entries.append(ArchiveEntry(name, offset, length))
+        offset += length
+    return entries
+
+
+def extract(archive: bytes, name: str) -> np.ndarray:
+    """Decompress a single entry (no other entry is parsed)."""
+    for entry in read_manifest(archive):
+        if entry.name == name:
+            return sz_decompress(
+                archive[entry.offset : entry.offset + entry.length]
+            )
+    raise KeyError(f"no entry named {name!r}")
+
+
+def extract_all(
+    archive: bytes, n_workers: int = 1
+) -> dict[str, np.ndarray]:
+    """Decompress every entry, optionally with a process pool."""
+    entries = read_manifest(archive)
+    blobs = [archive[e.offset : e.offset + e.length] for e in entries]
+    if n_workers > 1:
+        arrays = parallel_decompress(blobs, n_workers=n_workers)
+    else:
+        arrays = [sz_decompress(b) for b in blobs]
+    return {e.name: a for e, a in zip(entries, arrays)}
+
+
+def archive_info(archive: bytes) -> list[dict]:
+    """Per-entry header info (shape, dtype, CF) without decompressing."""
+    rows = []
+    for entry in read_manifest(archive):
+        info = container_info(
+            archive[entry.offset : entry.offset + entry.length]
+        )
+        n_values = int(np.prod(info["shape"])) if info["shape"] else 0
+        itemsize = np.dtype(info["dtype"]).itemsize
+        rows.append(
+            {
+                "name": entry.name,
+                "shape": info["shape"],
+                "dtype": info["dtype"],
+                "compressed_bytes": entry.length,
+                "cf": n_values * itemsize / max(1, entry.length),
+            }
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Shared-filesystem I/O model behind the paper's Figure 10.
+
+Figure 10 compares, per process count, the stacked shares of
+
+* compression (or decompression) time,
+* writing (reading) the *compressed* data, and
+* writing (reading) the *initial* data,
+
+normalized to 100 %.  The punchline: from ~32 processes up, writing the
+initial data costs more than compressing **plus** writing the compressed
+data, so compression reduces total I/O time.
+
+The model: codec throughput scales like the cluster model (near-linear),
+while the shared filesystem saturates at ``fs_peak_gb_s`` — per-process
+bandwidth ``min(p * per_process_io, fs_peak)`` — which is why the I/O
+share grows with scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.cluster import BluesClusterModel
+
+__all__ = ["IOBreakdown", "ParallelIOModel"]
+
+
+@dataclass(frozen=True)
+class IOBreakdown:
+    processes: int
+    codec_seconds: float
+    compressed_io_seconds: float
+    initial_io_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.codec_seconds + self.compressed_io_seconds + self.initial_io_seconds
+
+    @property
+    def shares(self) -> tuple[float, float, float]:
+        """(codec, compressed-io, initial-io) as fractions of the total."""
+        t = self.total_seconds
+        return (
+            self.codec_seconds / t,
+            self.compressed_io_seconds / t,
+            self.initial_io_seconds / t,
+        )
+
+    @property
+    def compression_pays_off(self) -> bool:
+        """True when codec + compressed I/O beats writing initial data."""
+        return (
+            self.codec_seconds + self.compressed_io_seconds
+            < self.initial_io_seconds
+        )
+
+
+@dataclass
+class ParallelIOModel:
+    """Blues-like cluster + GPFS-like shared filesystem."""
+
+    cluster: BluesClusterModel = None
+    per_process_io_gb_s: float = 0.35
+    fs_peak_gb_s: float = 1.5
+    compression_factor: float = 6.3  # ATM at eb_rel 1e-4 (paper Fig. 6)
+
+    def __post_init__(self) -> None:
+        if self.cluster is None:
+            self.cluster = BluesClusterModel()
+
+    def io_bandwidth(self, processes: int) -> float:
+        """Aggregate filesystem bandwidth seen by ``processes`` writers."""
+        return min(processes * self.per_process_io_gb_s, self.fs_peak_gb_s)
+
+    def breakdown(
+        self,
+        processes: int,
+        data_gb: float,
+        codec_single_gb_s: float | None = None,
+    ) -> IOBreakdown:
+        codec_speed = self.cluster.speed(processes, codec_single_gb_s)
+        io_bw = self.io_bandwidth(processes)
+        return IOBreakdown(
+            processes=processes,
+            codec_seconds=data_gb / codec_speed,
+            compressed_io_seconds=(data_gb / self.compression_factor) / io_bw,
+            initial_io_seconds=data_gb / io_bw,
+        )
+
+    def sweep(
+        self,
+        proc_counts: list[int] | None = None,
+        data_gb: float = 2500.0,
+        codec_single_gb_s: float | None = None,
+    ) -> list[IOBreakdown]:
+        proc_counts = proc_counts or [2**k for k in range(11)]
+        return [
+            self.breakdown(p, data_gb, codec_single_gb_s) for p in proc_counts
+        ]

@@ -1,0 +1,100 @@
+"""Process-pool parallel compression of independent chunks.
+
+The paper's off-line parallel mode: "an MPI program or a script can be
+used to load the data into multiple processes and run the compression
+separately on them ... without inter-process communications."  With no
+communication, a process pool is the faithful single-node equivalent of
+one MPI rank per file.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core import compress as sz_compress
+from repro.core import decompress as sz_decompress
+
+__all__ = ["parallel_compress", "parallel_decompress", "measure_pool_scaling", "chunk_array"]
+
+
+def chunk_array(data: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+    """Split along the first axis into near-equal independent chunks."""
+    if n_chunks <= 0:
+        raise ValueError("n_chunks must be positive")
+    n_chunks = min(n_chunks, data.shape[0])
+    return [np.ascontiguousarray(c) for c in np.array_split(data, n_chunks)]
+
+
+def _compress_worker(args) -> bytes:
+    chunk, kwargs = args
+    return sz_compress(chunk, **kwargs)
+
+
+def _decompress_worker(blob: bytes) -> np.ndarray:
+    return sz_decompress(blob)
+
+
+def parallel_compress(
+    chunks: list[np.ndarray],
+    n_workers: int | None = None,
+    **compress_kwargs,
+) -> list[bytes]:
+    """Compress independent chunks across a process pool."""
+    n_workers = n_workers or os.cpu_count() or 1
+    if n_workers == 1:
+        return [sz_compress(c, **compress_kwargs) for c in chunks]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(
+            pool.map(_compress_worker, [(c, compress_kwargs) for c in chunks])
+        )
+
+
+def parallel_decompress(
+    blobs: list[bytes], n_workers: int | None = None
+) -> list[np.ndarray]:
+    """Decompress independent containers across a process pool."""
+    n_workers = n_workers or os.cpu_count() or 1
+    if n_workers == 1:
+        return [sz_decompress(b) for b in blobs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_decompress_worker, blobs))
+
+
+def measure_pool_scaling(
+    data: np.ndarray,
+    proc_counts: list[int],
+    **compress_kwargs,
+) -> list[dict]:
+    """Measured strong scaling on this machine (Tables VII/VIII, local part).
+
+    The array is pre-split into ``max(proc_counts)`` chunks so every run
+    compresses identical work; each row reports wall-clock speed for one
+    pool size.
+    """
+    max_procs = max(proc_counts)
+    chunks = chunk_array(data, max_procs)
+    total_bytes = sum(c.nbytes for c in chunks)
+    rows = []
+    base_speed = None
+    for p in proc_counts:
+        t0 = time.perf_counter()
+        blobs = parallel_compress(chunks, n_workers=p, **compress_kwargs)
+        comp_t = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel_decompress(blobs, n_workers=p)
+        decomp_t = time.perf_counter() - t0
+        row = {
+            "processes": p,
+            "comp_speed_mb_s": total_bytes / 1e6 / comp_t,
+            "decomp_speed_mb_s": total_bytes / 1e6 / decomp_t,
+        }
+        if base_speed is None:
+            base_speed = row["comp_speed_mb_s"]
+        row["speedup"] = row["comp_speed_mb_s"] / base_speed
+        row["efficiency"] = row["speedup"] / p
+        rows.append(row)
+    return rows

@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis settings for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property tests snappy; the invariants are cheap to falsify.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture()
+def smooth2d(rng: np.random.Generator) -> np.ndarray:
+    """A small smooth-but-not-trivial 2-D field (float32)."""
+    y, x = np.mgrid[0:48, 0:64]
+    base = np.sin(x / 7.0) * np.cos(y / 5.0) + 0.05 * rng.standard_normal((48, 64))
+    return base.astype(np.float32)
+
+
+@pytest.fixture()
+def spiky2d(rng: np.random.Generator) -> np.ndarray:
+    """Smooth field with sharp spikes — the regime the paper targets."""
+    field = np.outer(np.linspace(-1, 1, 40), np.linspace(0, 2, 56))
+    spikes = rng.random((40, 56)) < 0.02
+    field = field + spikes * rng.standard_normal((40, 56)) * 50.0
+    return field.astype(np.float64)

@@ -1,0 +1,90 @@
+"""Tests for the adaptive interval-count scheme (paper Section IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import (
+    estimate_hit_rate,
+    suggest_interval_bits,
+)
+
+
+class TestEstimateHitRate:
+    def test_smooth_data_high_rate(self, smooth2d):
+        rate = estimate_hit_rate(smooth2d, eb=1e-2, interval_bits=8)
+        assert rate > 0.95
+
+    def test_rate_collapses_at_tight_bounds(self, smooth2d):
+        """Fig. 4: the hitting rate drops sharply once the bound is too
+        tight for the interval count."""
+        loose = estimate_hit_rate(smooth2d, eb=1e-2, interval_bits=4)
+        tight = estimate_hit_rate(smooth2d, eb=1e-7, interval_bits=4)
+        assert loose > 0.8
+        assert tight < 0.5 * loose
+
+    def test_more_intervals_cover_tighter_bounds(self, smooth2d):
+        eb = 1e-5
+        small = estimate_hit_rate(smooth2d, eb=eb, interval_bits=4)
+        large = estimate_hit_rate(smooth2d, eb=eb, interval_bits=12)
+        assert large >= small
+
+    def test_monotone_in_interval_bits(self, spiky2d):
+        eb = 1e-4 * float(spiky2d.max() - spiky2d.min())
+        rates = [
+            estimate_hit_rate(spiky2d, eb, m) for m in (2, 4, 8, 12, 16)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_bad_bound_raises(self, smooth2d):
+        with pytest.raises(ValueError):
+            estimate_hit_rate(smooth2d, 0.0, 8)
+
+    def test_subsampling_kicks_in(self, rng):
+        big = rng.standard_normal((600, 600))
+        rate = estimate_hit_rate(big, 0.1, 8, sample_limit=1024)
+        assert 0.0 <= rate <= 1.0
+
+
+class TestSuggestLayers:
+    def test_default_data_prefers_one_layer(self, smooth2d):
+        from repro.core.adaptive import suggest_layers
+
+        eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
+        assert suggest_layers(smooth2d, eb) == 1
+
+    def test_oversmooth_data_can_prefer_more(self):
+        """On grid-oversampled fields at the right bound, n=2 wins even in
+        the loop (the PHIS regime of our Table II reproduction)."""
+        from repro.core.adaptive import suggest_layers
+        from repro.datasets.climate import phis_like
+
+        data = phis_like((96, 192), seed=5)
+        eb = 1e-4 * float(data.max() - data.min())
+        n = suggest_layers(data, eb, sample_limit=data.size)
+        assert n >= 2
+
+    def test_bad_bound(self, smooth2d):
+        from repro.core.adaptive import suggest_layers
+
+        with pytest.raises(ValueError):
+            suggest_layers(smooth2d, 0.0)
+
+
+class TestSuggestIntervalBits:
+    def test_easy_data_small_m(self, smooth2d):
+        m = suggest_interval_bits(smooth2d, eb=1e-2)
+        assert m <= 8
+
+    def test_hard_data_larger_m(self, rng):
+        noise = rng.standard_normal((128, 128))
+        eb = 1e-6 * float(noise.max() - noise.min())
+        m_hard = suggest_interval_bits(noise, eb)
+        m_easy = suggest_interval_bits(noise, 1e-1)
+        assert m_hard > m_easy
+
+    def test_falls_back_to_largest(self, rng):
+        white = rng.standard_normal(4096)
+        m = suggest_interval_bits(white, 1e-12, candidates=(2, 4))
+        assert m == 4

@@ -1,0 +1,88 @@
+"""Tests for the repro-sz command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "fig6", "fig10", "table8"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "table3", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "ATM" in out
+
+    def test_run_model_experiment(self, capsys):
+        assert main(["run", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "1024" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+
+class TestCompressDecompress:
+    def test_roundtrip_via_files(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "field.npy"
+        comp = tmp_path / "field.sz"
+        dst = tmp_path / "restored.npy"
+        np.save(src, smooth2d)
+        assert main(["compress", str(src), str(comp), "--rel", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "CF" in out
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        restored = np.load(dst)
+        eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
+        assert np.abs(restored - smooth2d).max() <= eb
+
+    def test_abs_bound_and_options(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.sz"
+        np.save(src, smooth2d)
+        assert main([
+            "compress", str(src), str(comp),
+            "--abs", "0.01", "--layers", "2", "--bits", "10", "--adaptive",
+        ]) == 0
+        dst = tmp_path / "r.npy"
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        assert np.abs(np.load(dst) - smooth2d).max() <= 0.01
+
+    def test_default_bound_applied(self, tmp_path, smooth2d):
+        src = tmp_path / "g.npy"
+        comp = tmp_path / "g.sz"
+        np.save(src, smooth2d)
+        assert main(["compress", str(src), str(comp)]) == 0  # default 1e-4
+        dst = tmp_path / "h.npy"
+        main(["decompress", str(comp), str(dst)])
+        eb = 1e-4 * float(smooth2d.max() - smooth2d.min())
+        assert np.abs(np.load(dst) - smooth2d).max() <= eb
+
+
+class TestInfo:
+    def test_info_prints_header(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.sz"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--rel", "1e-3"])
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "float32" in out and "interval_bits" in out
+
+
+class TestAblation:
+    def test_ablation_entropy(self, capsys):
+        assert main(["ablation", "entropy", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Huffman" in out and "arithmetic" in out

@@ -1,0 +1,166 @@
+"""Tests for the synthetic data-set generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    aps_like,
+    atm_dataset,
+    cdnumc_like,
+    describe_datasets,
+    freqsh_like,
+    gaussian_random_field,
+    hurricane_dataset,
+    load,
+    ridged_field,
+    snowhlnd_like,
+    sparse_patches,
+)
+
+
+class TestFields:
+    def test_grf_normalized(self):
+        f = gaussian_random_field((64, 64), beta=3.0, seed=1)
+        assert abs(f.mean()) < 1e-10
+        assert f.std() == pytest.approx(1.0)
+
+    def test_grf_deterministic(self):
+        a = gaussian_random_field((32, 32), 3.0, seed=5)
+        b = gaussian_random_field((32, 32), 3.0, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = gaussian_random_field((32, 32), 3.0, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_beta_controls_smoothness(self):
+        smooth = gaussian_random_field((128, 128), beta=4.0, seed=0)
+        rough = gaussian_random_field((128, 128), beta=1.0, seed=0)
+        grad_smooth = np.abs(np.diff(smooth, axis=0)).mean()
+        grad_rough = np.abs(np.diff(rough, axis=0)).mean()
+        assert grad_smooth < grad_rough
+
+    def test_grf_3d(self):
+        f = gaussian_random_field((16, 16, 16), 2.5, seed=0)
+        assert f.shape == (16, 16, 16)
+
+    def test_ridged_bounded(self):
+        f = ridged_field((64, 64), sharpness=10.0, seed=0)
+        assert f.min() >= -1.0 and f.max() <= 1.0
+
+    def test_sparse_patches_coverage(self):
+        f = sparse_patches((128, 128), coverage=0.2, seed=0)
+        frac = (f > 0).mean()
+        assert 0.15 < frac < 0.25
+        assert (f == 0).mean() > 0.7
+
+    def test_sparse_patches_bad_coverage(self):
+        with pytest.raises(ValueError):
+            sparse_patches((8, 8), coverage=1.5)
+
+
+class TestClimate:
+    def test_freqsh_range_and_dtype(self):
+        f = freqsh_like((96, 192), seed=0)
+        assert f.dtype == np.float32
+        assert f.min() >= 0.0 and f.max() <= 1.0
+
+    def test_snowhlnd_mostly_zero(self):
+        f = snowhlnd_like((96, 192))
+        assert (f == 0).mean() > 0.6
+        assert f.max() > 0
+
+    def test_cdnumc_huge_range(self):
+        """Must span enough decades to defeat ZFP's alignment (paper:
+        1e-3 .. 1e11)."""
+        f = cdnumc_like((96, 192))
+        assert f.min() > 0
+        assert f.max() / f.min() > 1e10
+
+    def test_atm_bundle(self):
+        d = atm_dataset((48, 96), seed=0)
+        assert set(d) >= {"FREQSH", "SNOWHLND", "CDNUMC", "TS", "PSL"}
+        for v in d.values():
+            assert v.shape == (48, 96)
+            assert v.dtype == np.float32
+
+    def test_freqsh_compresses_like_low_cf_variable(self):
+        """FREQSH-like should land in a moderate CF band at 1e-4 (the
+        paper's representative low-CF variable ~6.5)."""
+        from repro.core import compress
+
+        f = freqsh_like((384, 768), seed=0)
+        cf = f.nbytes / len(compress(f, rel_bound=1e-4))
+        assert 3.0 < cf < 12.0
+
+    def test_snowhlnd_compresses_like_high_cf_variable(self):
+        from repro.core import compress
+
+        f = snowhlnd_like((384, 768))
+        cf = f.nbytes / len(compress(f, rel_bound=1e-4))
+        assert cf > 18.0
+
+
+class TestXray:
+    def test_shape_dtype_nonneg(self):
+        f = aps_like((128, 128), seed=0)
+        assert f.shape == (128, 128)
+        assert f.dtype == np.float32
+        assert f.min() >= 0
+
+    def test_has_extreme_peaks(self):
+        f = aps_like((256, 256), seed=0)
+        assert f.max() > 50 * np.median(f)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(aps_like((64, 64), 3), aps_like((64, 64), 3))
+
+
+class TestHurricane:
+    def test_bundle(self):
+        d = hurricane_dataset((8, 40, 40), seed=0)
+        assert set(d) == {"U", "V", "W", "P", "QVAPOR"}
+        for v in d.values():
+            assert v.shape == (8, 40, 40)
+            assert v.dtype == np.float32
+
+    def test_vortex_structure(self):
+        d = hurricane_dataset((8, 64, 64), seed=0)
+        p = d["P"].astype(np.float64)
+        # pressure minimum near the eye (domain center)
+        zmin, ymin, xmin = np.unravel_index(np.argmin(p), p.shape)
+        assert abs(ymin - 32) < 10 and abs(xmin - 32) < 10
+        # wind speed peaks away from the exact center
+        speed = np.hypot(d["U"][0].astype(np.float64), d["V"][0].astype(np.float64))
+        ypk, xpk = np.unravel_index(np.argmax(speed), speed.shape)
+        assert 2 < np.hypot(ypk - 32, xpk - 32) < 24
+
+    def test_moisture_nonnegative_decays_with_height(self):
+        d = hurricane_dataset((12, 32, 32), seed=0)
+        qv = d["QVAPOR"]
+        assert qv.min() >= 0
+        assert qv[0].mean() > qv[-1].mean()
+
+
+class TestRegistry:
+    def test_load_all(self):
+        for name in DATASETS:
+            data = load(name, scale="tiny")
+            assert len(data) >= 2
+            for v in data.values():
+                assert v.dtype == np.float32
+
+    def test_scales_monotone(self):
+        for name, spec in DATASETS.items():
+            tiny = int(np.prod(spec.shapes["tiny"]))
+            small = int(np.prod(spec.shapes["small"]))
+            paper = int(np.prod(spec.shapes["paper"]))
+            assert tiny < small < paper
+
+    def test_describe_rows(self):
+        rows = describe_datasets()
+        assert len(rows) == 3
+        assert {r["Data"] for r in rows} == {"ATM", "APS", "Hurricane"}
+        for r in rows:
+            assert "Variables" in r and r["Variables"]

@@ -1,0 +1,219 @@
+"""Integration tests: every experiment runs and shows the paper's shape.
+
+All runs use the 'tiny' scale; assertions target *qualitative* agreements
+(who wins, where things collapse or flip) with generous margins, never
+absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.common import Table
+
+
+class TestRegistry:
+    def test_all_fourteen_artifacts_registered(self):
+        expected = {
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "table8", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "fig10",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_table_renders(self):
+        t = Table("demo")
+        t.add(a=1, b="x")
+        t.add(a=2.5, b=None)
+        s = str(t)
+        assert "demo" in s and "2.5" in s and "-" in s
+
+
+class TestTable2:
+    def test_layer_inversion(self):
+        t = run_experiment("table2", scale="tiny")
+        orig = [float(v.rstrip("%")) for v in t.column("R_PH_orig")]
+        dec = [float(v.rstrip("%")) for v in t.column("R_PH_decomp")]
+        # original-value prediction peaks at n >= 2
+        assert max(orig[1:]) > orig[0]
+        # decompressed-value prediction peaks at n = 1
+        assert dec[0] == max(dec)
+        # and layer 2 on decompressed values is clearly worse than layer 1
+        assert dec[1] < 0.8 * dec[0]
+
+
+class TestTable3:
+    def test_inventory(self):
+        t = run_experiment("table3", scale="tiny")
+        assert len(t.rows) == 3
+
+
+class TestFig3:
+    def test_peak_at_center_and_looser_is_peakier(self):
+        t = run_experiment("fig3", scale="tiny")
+        rows = {r["eb_rel"]: r for r in t.rows}
+        p_loose = float(rows["1e-03"]["peak_share"].rstrip("%"))
+        p_tight = float(rows["1e-04"]["peak_share"].rstrip("%"))
+        assert p_loose > p_tight
+        for r in t.rows:
+            center = float(r["c128"].rstrip("%"))
+            assert center == pytest.approx(
+                float(r["peak_share"].rstrip("%")), abs=0.5
+            )
+
+
+class TestFig4:
+    def test_collapse_and_interval_ordering(self):
+        t = run_experiment("fig4", scale="tiny")
+        for r in t.rows:
+            rates = [
+                float(r[k].rstrip("%")) for k in r if k.startswith("eb ")
+            ]
+            # plateau at loose bounds, collapse at tight ones
+            assert rates[0] > 80.0
+            assert rates[-1] < rates[0]
+        # more intervals should never hurt at the tightest bound (per panel)
+        for panel in ("ATM", "Hurricane"):
+            sub = [r for r in t.rows if r["panel"] == panel]
+            tight = [float(r["eb 1e-08"].rstrip("%")) for r in sub]
+            assert tight[-1] >= tight[0] - 1.0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment(
+            "fig6", scale="tiny", bounds=(1e-3, 1e-4), datasets=("ATM", "Hurricane")
+        )
+
+    def test_sz14_wins_every_column(self, table):
+        for panel in ("ATM", "Hurricane"):
+            sub = [r for r in table.rows if r["panel"] == panel]
+            for col in ("eb 1e-03", "eb 1e-04"):
+                sz = next(r[col] for r in sub if r["compressor"] == "SZ-1.4")
+                others = [
+                    r[col] for r in sub
+                    if r["compressor"] != "SZ-1.4" and r[col] is not None
+                ]
+                assert sz == max([sz] + others), (panel, col)
+
+    def test_lossless_baselines_low(self, table):
+        for r in table.rows:
+            if r["compressor"] in ("FPZIP-like", "GZIP-like"):
+                assert r["eb 1e-03"] < 3.0
+
+
+class TestTable5:
+    def test_sz_exact_zfp_conservative(self):
+        t = run_experiment("table5", scale="tiny")
+        for r in t.rows:
+            user = float(r["user_eb"])
+            sz = float(r["sz14_max_rel"])
+            zf = float(r["zfp_max_rel"])
+            assert 0.5 * user < sz <= user * 1.001
+            assert zf < 0.6 * user
+
+
+class TestFig7:
+    def test_sz_wins_at_moderate_matched_errors(self):
+        t = run_experiment("fig7", scale="tiny")
+        # the paper's headline rows: matched errors around 1e-3..1e-4
+        moderate = [
+            r for r in t.rows if float(r["matched_max_rel"]) > 5e-5
+        ]
+        assert moderate
+        assert all(r["sz14_cf"] > r["zfp_cf"] for r in moderate)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment(
+            "fig8", scale="tiny", datasets=("ATM",),
+            zfp_rates=(2, 4, 8), eb_sweep=(1e-2, 1e-3, 1e-4, 1e-5),
+        )
+
+    def test_monotone_rate_distortion(self, table):
+        for comp in ("SZ-1.4", "ZFP-like"):
+            pts = sorted(
+                (r["bit_rate"], r["psnr_db"])
+                for r in table.rows
+                if r["compressor"] == comp
+            )
+            psnrs = [p for _, p in pts]
+            assert all(b >= a - 1.0 for a, b in zip(psnrs, psnrs[1:]))
+
+    def test_sz14_dominates_mid_rates(self, table):
+        from repro.experiments.fig8 import psnr_at_rate
+
+        sz = psnr_at_rate(table, "ATM", "SZ-1.4", 8.0)
+        zf = psnr_at_rate(table, "ATM", "ZFP-like", 8.0)
+        assert sz > zf
+
+
+class TestTable4:
+    def test_five_nines_from_second_row(self):
+        t = run_experiment("table4", scale="tiny")
+        for panel in ("ATM", "Hurricane"):
+            sub = [r for r in t.rows if r["panel"] == panel]
+            assert all(r["five_nines_all"] for r in sub[1:])
+
+
+class TestTable6:
+    def test_speed_positive_and_trend(self):
+        t = run_experiment("table6", scale="tiny", datasets=("ATM",))
+        speeds = t.column("sz14_comp")
+        assert all(s > 0 for s in speeds)
+        # throughput at the loosest bound beats the tightest bound
+        assert speeds[0] > speeds[-1] * 0.8
+
+
+class TestTables78:
+    def test_table7_efficiencies(self):
+        t = run_experiment("table7")
+        eff = [float(v.rstrip("%")) for v in t.column("efficiency")]
+        procs = t.column("processes")
+        by = dict(zip(procs, eff))
+        assert by[128] > 99.0
+        assert 88.0 < by[1024] < 93.0
+
+    def test_table8_matches_paper_endpoint(self):
+        t = run_experiment("table8")
+        last = t.rows[-1]
+        assert last["processes"] == 1024
+        assert 170 < last["decomp_speed_gb_s"] < 200  # paper: 187
+
+
+class TestFig9:
+    def test_autocorrelation_flip(self):
+        t = run_experiment("fig9", scale="tiny")
+        acf = {
+            (r["variable"], r["compressor"]): float(r["max_|acf|"])
+            for r in t.rows
+        }
+        # low-CF variable: SZ error less correlated than ZFP's
+        assert acf[("FREQSH", "SZ-1.4")] < acf[("FREQSH", "ZFP-like")]
+        # high-CF variable: the ordering flips (paper's future-work caveat)
+        assert acf[("SNOWHLND", "SZ-1.4")] > acf[("SNOWHLND", "ZFP-like")]
+
+
+class TestFig10:
+    def test_crossover(self):
+        t = run_experiment("fig10")
+        comp = [r for r in t.rows if r["mode"] == "write/comp"]
+        pays = {r["processes"]: r["compression_pays"] for r in comp}
+        assert not pays[1]
+        assert pays[32] and pays[1024]
+
+    def test_io_share_grows(self):
+        t = run_experiment("fig10")
+        comp = [r for r in t.rows if r["mode"] == "write/comp"]
+        first = float(comp[0]["initial_io_share"].rstrip("%"))
+        last = float(comp[-1]["initial_io_share"].rstrip("%"))
+        assert last > first

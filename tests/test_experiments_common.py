@@ -1,0 +1,95 @@
+"""Tests for the experiment harness utilities (Table, runner wrappers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    CompressorResult,
+    Table,
+    run_fpzip,
+    run_gzip,
+    run_isabela,
+    run_sz11,
+    run_sz14,
+    run_zfp_accuracy,
+    run_zfp_rate,
+)
+
+
+class TestTable:
+    def test_columns_and_formatting(self):
+        t = Table("t")
+        t.add(x=1.23456, y="abc", z=None)
+        t.add(x=1e-7, y="d", z=3)
+        assert t.column("x") == [1.23456, 1e-7]
+        s = str(t)
+        assert "1.235" in s and "1.000e-07" in s and "-" in s
+
+    def test_notes_rendered(self):
+        t = Table("t")
+        t.add(a=1)
+        t.note("important caveat")
+        assert "important caveat" in str(t)
+
+    def test_empty_table(self):
+        assert "(no rows)" in str(Table("empty"))
+
+    def test_heterogeneous_rows(self):
+        t = Table("t")
+        t.add(a=1)
+        t.add(b=2)
+        s = str(t)
+        assert "a" in s and "b" in s
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def field(self):
+        rng = np.random.default_rng(7)
+        return np.cumsum(rng.standard_normal(48 * 48)).reshape(48, 48).astype(np.float32)
+
+    def test_sz14_result_schema(self, field):
+        res = run_sz14(field, rel_bound=1e-3)
+        assert res.name == "SZ-1.4"
+        assert res.cf > 1 and res.bit_rate < 32
+        assert res.max_rel <= 1e-3
+        assert res.comp_mb_s > 0 and res.decomp_mb_s > 0
+        assert not res.failed
+
+    def test_cf_bitrate_consistency(self, field):
+        res = run_sz14(field, rel_bound=1e-3)
+        assert res.cf * res.bit_rate == pytest.approx(32.0)
+
+    def test_zfp_modes(self, field):
+        acc = run_zfp_accuracy(field, rel_bound=1e-3)
+        assert acc.max_rel <= 1e-3
+        rate = run_zfp_rate(field, 8)
+        assert rate.bit_rate == pytest.approx(8, abs=0.6)
+
+    def test_zfp_accuracy_with_abs_bound(self, field):
+        res = run_zfp_accuracy(field, abs_bound=0.05)
+        assert res.max_abs <= 0.05
+
+    def test_sz11(self, field):
+        res = run_sz11(field, rel_bound=1e-3)
+        assert res.max_rel <= 1e-3
+
+    def test_isabela_failure_path(self, rng):
+        noise = rng.standard_normal(4096).astype(np.float32)
+        res = run_isabela(noise, rel_bound=1e-7)
+        assert res.failed and res.reason
+        assert np.isnan(res.cf)
+
+    def test_lossless_runners_exact(self, field):
+        for runner in (run_fpzip, run_gzip):
+            res = runner(field)
+            assert res.max_abs == 0.0
+            assert res.psnr == np.inf
+            assert res.rho == pytest.approx(1.0)
+
+    def test_lossless_runners_ignore_bounds(self, field):
+        a = run_fpzip(field, rel_bound=1e-3)
+        b = run_fpzip(field)
+        assert a.cf == b.cf

@@ -1,0 +1,118 @@
+"""Cross-module integration: the full (compressor x dataset x bound)
+matrix of error-bound guarantees, plus cross-compressor sanity relations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FPZIPLike, GzipLike, ISABELA, ISABELAFailure, SZ11
+from repro.core import compress, decompress
+from repro.datasets import load
+from repro.metrics import max_rel_error, pearson
+
+ALL_VARIABLES = [
+    ("ATM", "FREQSH"),
+    ("ATM", "SNOWHLND"),
+    ("ATM", "CDNUMC"),
+    ("ATM", "TS"),
+    ("ATM", "PHIS"),
+    ("APS", "frame0"),
+    ("Hurricane", "U"),
+    ("Hurricane", "W"),
+    ("Hurricane", "P"),
+    ("Hurricane", "QVAPOR"),
+]
+
+
+@pytest.fixture(scope="module")
+def variables():
+    out = {}
+    for dataset, var in ALL_VARIABLES:
+        out[(dataset, var)] = load(dataset, scale="tiny")[var]
+    return out
+
+
+class TestSZ14BoundMatrix:
+    @pytest.mark.parametrize("key", ALL_VARIABLES, ids=lambda k: f"{k[0]}.{k[1]}")
+    @pytest.mark.parametrize("rel", [1e-3, 1e-5])
+    def test_bound_holds_everywhere(self, variables, key, rel):
+        data = variables[key]
+        blob = compress(data, rel_bound=rel)
+        out = decompress(blob)
+        assert max_rel_error(data, out) <= rel
+        assert out.dtype == data.dtype and out.shape == data.shape
+
+    @pytest.mark.parametrize("key", ALL_VARIABLES[:4], ids=lambda k: k[1])
+    def test_huge_range_data_still_bounded(self, variables, key):
+        """SZ-1.4's selling point vs ZFP: the bound holds even on CDNUMC-like
+        ranges."""
+        data = variables[key]
+        blob = compress(data, rel_bound=1e-4)
+        assert max_rel_error(data, decompress(blob)) <= 1e-4
+
+
+class TestSZ11BoundMatrix:
+    @pytest.mark.parametrize(
+        "key", [("ATM", "FREQSH"), ("Hurricane", "U")], ids=lambda k: k[1]
+    )
+    def test_bound(self, variables, key):
+        data = variables[key]
+        sz = SZ11(rel_bound=1e-3)
+        out = sz.decompress(sz.compress(data))
+        assert max_rel_error(data, out) <= 1e-3
+
+
+class TestISABELABoundMatrix:
+    @pytest.mark.parametrize(
+        "key", [("ATM", "FREQSH"), ("APS", "frame0")], ids=lambda k: k[1]
+    )
+    def test_bound_or_clean_failure(self, variables, key):
+        data = variables[key]
+        isa = ISABELA(rel_bound=1e-3)
+        try:
+            out = isa.decompress(isa.compress(data))
+        except ISABELAFailure:
+            return
+        assert max_rel_error(data, out) <= 1e-3
+
+
+class TestLosslessMatrix:
+    @pytest.mark.parametrize("key", ALL_VARIABLES[:6], ids=lambda k: k[1])
+    def test_fpzip_exact(self, variables, key):
+        data = variables[key]
+        f = FPZIPLike()
+        np.testing.assert_array_equal(f.decompress(f.compress(data)), data)
+
+    def test_gzip_exact(self, variables):
+        data = variables[("ATM", "SNOWHLND")]
+        g = GzipLike()
+        np.testing.assert_array_equal(g.decompress(g.compress(data)), data)
+
+
+class TestCrossCompressorRelations:
+    def test_sz14_beats_sz11_on_all_2d(self, variables):
+        """The paper's core claim, across every 2-D variable."""
+        for key in [("ATM", "FREQSH"), ("ATM", "TS"), ("APS", "frame0")]:
+            data = variables[key]
+            sz14 = len(compress(data, rel_bound=1e-4))
+            sz11 = len(SZ11(rel_bound=1e-4).compress(data))
+            assert sz14 < sz11, key
+
+    def test_correlation_five_nines_at_1e4(self, variables):
+        data = variables[("ATM", "FREQSH")]
+        out = decompress(compress(data, rel_bound=1e-4))
+        assert pearson(data, out) >= 0.99999
+
+    def test_seed_changes_data_not_format(self):
+        a = load("ATM", scale="tiny", seed=1)["FREQSH"]
+        b = load("ATM", scale="tiny", seed=2)["FREQSH"]
+        assert not np.array_equal(a, b)
+        for d in (a, b):
+            out = decompress(compress(d, rel_bound=1e-3))
+            assert max_rel_error(d, out) <= 1e-3
+
+    def test_deterministic_compression(self, variables):
+        data = variables[("Hurricane", "U")]
+        assert compress(data, rel_bound=1e-3) == compress(data, rel_bound=1e-3)

@@ -1,0 +1,117 @@
+"""Tests for error, correlation and rate metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    autocorrelation,
+    bit_rate,
+    compression_factor,
+    five_nines,
+    max_abs_error,
+    max_rel_error,
+    nrmse,
+    pearson,
+    psnr,
+    rmse,
+    throughput_mb_s,
+)
+from repro.metrics.correlation import nines
+from repro.metrics.rates import check_identity
+
+
+class TestErrors:
+    def test_exact_reconstruction(self):
+        a = np.arange(10.0)
+        assert max_abs_error(a, a) == 0.0
+        assert rmse(a, a) == 0.0
+        assert psnr(a, a) == np.inf
+
+    def test_known_values(self):
+        a = np.array([0.0, 1.0, 2.0, 3.0])
+        b = a + np.array([0.1, -0.1, 0.1, -0.1])
+        assert max_abs_error(a, b) == pytest.approx(0.1)
+        assert rmse(a, b) == pytest.approx(0.1)
+        assert nrmse(a, b) == pytest.approx(0.1 / 3.0)
+        assert max_rel_error(a, b) == pytest.approx(0.1 / 3.0)
+
+    def test_psnr_formula(self):
+        a = np.linspace(0, 1, 1000)
+        b = a + 1e-3
+        # rmse = 1e-3, range = 1 -> psnr = 60 dB
+        assert psnr(a, b) == pytest.approx(60.0, abs=0.1)
+
+    def test_nan_pairs_ignored(self):
+        a = np.array([1.0, np.nan, 3.0])
+        b = np.array([1.0, np.nan, 3.5])
+        assert max_abs_error(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_constant_input(self):
+        a = np.full(10, 7.0)
+        assert nrmse(a, a) == 0.0
+        assert max_rel_error(a, a + 0.1) == 0.0  # zero range convention
+
+
+class TestCorrelation:
+    def test_perfect(self):
+        a = np.random.default_rng(0).standard_normal(1000)
+        assert pearson(a, a) == pytest.approx(1.0)
+
+    def test_anti(self):
+        a = np.random.default_rng(0).standard_normal(1000)
+        assert pearson(a, -a) == pytest.approx(-1.0)
+
+    def test_five_nines_threshold(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(20000)
+        assert five_nines(a, a + 1e-5 * rng.standard_normal(20000))
+        assert not five_nines(a, a + 0.5 * rng.standard_normal(20000))
+
+    def test_nines_helper(self):
+        assert nines(0.99999) == 5
+        assert nines(0.9991) == 3
+        assert nines(0.5) == 0
+        assert nines(1.0) == 16
+
+    def test_autocorrelation_white_noise(self):
+        x = np.random.default_rng(0).standard_normal(20000)
+        acf = autocorrelation(x, 50)
+        assert acf.shape == (50,)
+        assert np.abs(acf).max() < 0.05
+
+    def test_autocorrelation_sine(self):
+        t = np.arange(4000)
+        x = np.sin(2 * np.pi * t / 100)
+        acf = autocorrelation(x, 100)
+        assert acf[99] > 0.9  # period 100 -> high correlation at lag 100
+        assert acf[49] < -0.9  # anti-phase at half period
+
+    def test_short_series(self):
+        assert autocorrelation(np.array([1.0]), 10).shape == (10,)
+
+
+class TestRates:
+    def test_cf_and_bitrate(self):
+        assert compression_factor(1000, 250) == 4.0
+        assert bit_rate(250, 250) == 8.0
+
+    def test_identity(self):
+        # CF * BR == 32 for f32 data
+        assert check_identity(4000, 500, 1000, 32)
+
+    def test_throughput(self):
+        assert throughput_mb_s(10_000_000, 2.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_factor(10, 0)
+        with pytest.raises(ValueError):
+            bit_rate(10, 0)
+        with pytest.raises(ValueError):
+            throughput_mb_s(10, 0)

@@ -1,0 +1,119 @@
+"""Tests for the parallel pool, cluster model and I/O model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compress, decompress
+from repro.parallel import (
+    BluesClusterModel,
+    ParallelIOModel,
+    parallel_compress,
+    parallel_decompress,
+)
+from repro.parallel.pool import chunk_array
+
+
+class TestChunking:
+    def test_chunks_cover_array(self, smooth2d):
+        chunks = chunk_array(smooth2d, 4)
+        assert sum(c.shape[0] for c in chunks) == smooth2d.shape[0]
+        np.testing.assert_array_equal(np.concatenate(chunks), smooth2d)
+
+    def test_more_chunks_than_rows(self):
+        data = np.zeros((3, 5), dtype=np.float32)
+        assert len(chunk_array(data, 10)) == 3
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            chunk_array(np.zeros((4, 4), dtype=np.float32), 0)
+
+
+class TestPool:
+    def test_parallel_equals_serial(self, smooth2d):
+        chunks = chunk_array(smooth2d, 4)
+        serial = [compress(c, rel_bound=1e-3) for c in chunks]
+        parallel = parallel_compress(chunks, n_workers=2, rel_bound=1e-3)
+        assert [bytes(a) for a in serial] == [bytes(b) for b in parallel]
+
+    def test_parallel_roundtrip(self, smooth2d):
+        chunks = chunk_array(smooth2d, 3)
+        blobs = parallel_compress(chunks, n_workers=2, rel_bound=1e-3)
+        outs = parallel_decompress(blobs, n_workers=2)
+        recon = np.concatenate(outs)
+        eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
+        # each chunk uses its own range, all ranges <= global range
+        assert np.abs(recon - smooth2d).max() <= eb
+
+    def test_single_worker_path(self, smooth2d):
+        chunks = chunk_array(smooth2d, 2)
+        blobs = parallel_compress(chunks, n_workers=1, rel_bound=1e-3)
+        outs = parallel_decompress(blobs, n_workers=1)
+        assert len(outs) == 2
+
+
+class TestClusterModel:
+    def test_matches_paper_table7_shape(self):
+        """Efficiency ~100% to 128 procs, ~90-96% beyond (Table VII)."""
+        model = BluesClusterModel()
+        rows = {r.processes: r for r in model.strong_scaling()}
+        for p in (2, 8, 64, 128):
+            assert rows[p].efficiency > 0.99, p
+        assert 0.93 < rows[256].efficiency < 0.99
+        assert 0.88 < rows[512].efficiency < 0.93
+        assert 0.88 < rows[1024].efficiency < 0.93
+
+    def test_paper_endpoint_speed(self):
+        """Paper: 0.09 GB/s at 1 process -> ~81 GB/s at 1024."""
+        model = BluesClusterModel()
+        s1024 = model.speed(1024)
+        assert 75 < s1024 < 90
+
+    def test_placement(self):
+        model = BluesClusterModel()
+        assert model.placement(32) == (32, 1.0)
+        assert model.placement(128) == (64, 2.0)
+        assert model.placement(1024) == (64, 16.0)
+
+    def test_validation(self):
+        model = BluesClusterModel()
+        with pytest.raises(ValueError):
+            model.placement(0)
+        with pytest.raises(ValueError):
+            model.placement(64 * 16 + 1)
+
+    def test_custom_single_speed(self):
+        model = BluesClusterModel()
+        assert model.speed(4, single_gb_s=1.0) == pytest.approx(
+            4.0 * model._efficiency(1.0), rel=1e-6
+        )
+
+
+class TestIOModel:
+    def test_crossover_around_32_processes(self):
+        """Fig. 10: compression pays off from ~32 processes upward."""
+        model = ParallelIOModel()
+        sweep = {b.processes: b for b in model.sweep()}
+        assert sweep[32].compression_pays_off
+        assert sweep[1024].compression_pays_off
+        assert not sweep[1].compression_pays_off
+
+    def test_shares_sum_to_one(self):
+        model = ParallelIOModel()
+        for b in model.sweep():
+            assert sum(b.shares) == pytest.approx(1.0)
+
+    def test_io_share_grows_with_scale(self):
+        """Relative time in I/O increases with process count (paper)."""
+        model = ParallelIOModel()
+        sweep = model.sweep()
+        io_share_small = 1 - sweep[0].shares[0]
+        io_share_large = 1 - sweep[-1].shares[0]
+        assert io_share_large > io_share_small
+
+    def test_fs_saturation(self):
+        model = ParallelIOModel()
+        assert model.io_bandwidth(1) == pytest.approx(0.35)
+        assert model.io_bandwidth(1024) == pytest.approx(model.fs_peak_gb_s)
+        assert model.io_bandwidth(1024) == model.io_bandwidth(64)

@@ -1,0 +1,183 @@
+"""Tests for the multilayer multidimensional prediction model.
+
+The crucial checks: coefficients match the paper's Table I exactly for
+2-D layers 1..4, and the model reproduces polynomial surfaces of total
+degree <= 2n-1 (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.predictor import (
+    layer_counts,
+    predict_from_original,
+    prediction_stencil,
+)
+
+# Table I of the paper, transcribed: {(k1, k2): coefficient}.
+TABLE1 = {
+    1: {(0, 1): 1, (1, 0): 1, (1, 1): -1},
+    2: {
+        (1, 0): 2, (0, 1): 2, (1, 1): -4, (2, 0): -1, (0, 2): -1,
+        (2, 1): 2, (1, 2): 2, (2, 2): -1,
+    },
+    3: {
+        (1, 0): 3, (0, 1): 3, (1, 1): -9, (2, 0): -3, (0, 2): -3,
+        (2, 1): 9, (1, 2): 9, (2, 2): -9, (3, 0): 1, (0, 3): 1,
+        (3, 1): -3, (1, 3): -3, (3, 2): 3, (2, 3): 3, (3, 3): -1,
+    },
+    4: {
+        (1, 0): 4, (0, 1): 4, (1, 1): -16, (2, 0): -6, (0, 2): -6,
+        (2, 1): 24, (1, 2): 24, (2, 2): -36, (3, 0): 4, (0, 3): 4,
+        (3, 1): -16, (1, 3): -16, (3, 2): 24, (2, 3): 24, (3, 3): -16,
+        (4, 0): -1, (0, 4): -1, (4, 1): 4, (1, 4): 4, (4, 2): -6,
+        (2, 4): -6, (4, 3): 4, (3, 4): 4, (4, 4): -1,
+    },
+}
+
+
+class TestStencilCoefficients:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_paper_table1(self, n):
+        offsets, coeffs = prediction_stencil(n, 2)
+        got = {tuple(o): c for o, c in zip(offsets, coeffs)}
+        expected = TABLE1[n]
+        assert set(got) == set(expected)
+        for key, val in expected.items():
+            assert got[key] == pytest.approx(val), f"n={n}, offset={key}"
+
+    @pytest.mark.parametrize("n,d", [(1, 1), (2, 1), (1, 2), (2, 2), (1, 3), (2, 3)])
+    def test_coefficients_sum_to_one(self, n, d):
+        # A constant field must be predicted exactly.
+        _, coeffs = prediction_stencil(n, d)
+        assert coeffs.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n,d", [(1, 2), (3, 2), (1, 3), (2, 4)])
+    def test_stencil_size(self, n, d):
+        offsets, coeffs = prediction_stencil(n, d)
+        assert offsets.shape == (layer_counts(n, d), d)
+        assert coeffs.shape == (layer_counts(n, d),)
+
+    def test_paper_count_formula_2d(self):
+        # Paper: the n-layer data subset S has n(n+2) points for d=2.
+        for n in range(1, 5):
+            assert layer_counts(n, 2) == n * (n + 2)
+
+    def test_lorenzo_special_case_1d(self):
+        offsets, coeffs = prediction_stencil(1, 1)
+        np.testing.assert_array_equal(offsets, [[1]])
+        np.testing.assert_array_equal(coeffs, [1.0])
+
+    def test_lorenzo_special_case_3d(self):
+        offsets, coeffs = prediction_stencil(1, 3)
+        got = {tuple(o): c for o, c in zip(offsets, coeffs)}
+        # 3-D Lorenzo: +1 for odd |k|, -1 for even |k|.
+        for k, c in got.items():
+            expected = 1.0 if sum(k) % 2 == 1 else -1.0
+            assert c == pytest.approx(expected)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            prediction_stencil(0, 2)
+        with pytest.raises(ValueError):
+            prediction_stencil(1, 0)
+
+    def test_stencil_is_cached_and_immutable(self):
+        a = prediction_stencil(2, 2)
+        b = prediction_stencil(2, 2)
+        assert a[0] is b[0]
+        with pytest.raises(ValueError):
+            a[1][0] = 99.0
+
+
+class TestPolynomialExactness:
+    """Theorem 1: the n-layer model is exact on surfaces of degree <= 2n-1."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exact_on_polynomial_2d(self, n, rng):
+        deg = 2 * n - 1
+        coef = rng.standard_normal((deg + 1, deg + 1))
+        for i in range(deg + 1):
+            for j in range(deg + 1):
+                if i + j > deg:
+                    coef[i, j] = 0.0
+        y, x = np.mgrid[0:20, 0:24].astype(np.float64)
+        field = np.polynomial.polynomial.polyval2d(y, x, coef)
+        pred = predict_from_original(field, n)
+        # Interior only: border predictions see zero padding.
+        interior = (slice(n, None), slice(n, None))
+        scale = np.abs(field[interior]).max() + 1.0
+        err = np.abs(pred[interior] - field[interior]) / scale
+        assert err.max() < 1e-8
+
+    def test_prediction_error_is_mixed_difference(self, rng):
+        """The model's error equals the tensor backward difference
+        prod_j Delta_j^n V, so a monomial with every exponent >= n (here
+        x^2 y^2 for n=2) must miss, while x^4 + y^4 is still exact."""
+        y, x = np.mgrid[0:16, 0:16].astype(np.float64)
+        interior = (slice(2, None), slice(2, None))
+        miss = (x**2) * (y**2)
+        pred = predict_from_original(miss, 2)
+        assert np.abs(pred[interior] - miss[interior]).max() > 1.0
+        hit = x**4 + y**4
+        pred = predict_from_original(hit, 2)
+        scale = np.abs(hit).max()
+        assert np.abs(pred[interior] - hit[interior]).max() < 1e-8 * scale
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_exact_on_polynomial_3d(self, n, rng):
+        z, y, x = np.mgrid[0:8, 0:9, 0:10].astype(np.float64)
+        deg = 2 * n - 1
+        field = (0.3 * x + 0.5 * y - 0.2 * z + 1.0) ** deg
+        pred = predict_from_original(field, n)
+        interior = tuple(slice(n, None) for _ in range(3))
+        scale = np.abs(field[interior]).max() + 1.0
+        assert (np.abs(pred - field)[interior] / scale).max() < 1e-8
+
+    def test_1d_exactness_degree_n_minus_1(self):
+        """In 1-D the n-layer model is n-point backward extrapolation,
+        exact for polynomials of degree <= n-1 (finite differences)."""
+        i = np.arange(50, dtype=np.float64)
+        linear = i * 3.0 + 7.0
+        pred = predict_from_original(linear, 2)
+        np.testing.assert_allclose(pred[2:], linear[2:], rtol=1e-12)
+        quadratic = 0.5 * i**2 - i + 2.0
+        pred = predict_from_original(quadratic, 3)
+        np.testing.assert_allclose(pred[3:], quadratic[3:], rtol=1e-10)
+        # and n=1 (previous-value prediction) misses a linear ramp by slope
+        pred = predict_from_original(linear, 1)
+        np.testing.assert_allclose(pred[1:] - linear[1:], -3.0)
+
+
+class TestBorderBehaviour:
+    def test_first_row_degrades_to_1d_prediction(self):
+        """Zero padding makes row 0 use the 1-D form of the same model."""
+        field = np.zeros((4, 30))
+        field[0] = np.linspace(5, 8, 30)
+        pred2d = predict_from_original(field, 2)
+        pred1d = predict_from_original(field[0], 2)
+        np.testing.assert_allclose(pred2d[0], pred1d, rtol=1e-12)
+
+    def test_origin_predicted_as_zero(self):
+        field = np.full((5, 5), 42.0)
+        pred = predict_from_original(field, 1)
+        assert pred[0, 0] == 0.0
+
+
+class TestPredictFromOriginal:
+    @given(st.integers(1, 3), st.integers(1, 2**31))
+    def test_shapes_and_dtype(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((6, 7))
+        pred = predict_from_original(data, n)
+        assert pred.shape == data.shape
+        assert pred.dtype == np.float64
+
+    def test_smooth_field_predicts_well(self, smooth2d):
+        pred = predict_from_original(smooth2d.astype(np.float64), 1)
+        resid = np.abs(pred - smooth2d)[1:, 1:]
+        assert np.median(resid) < 0.3 * smooth2d.std()

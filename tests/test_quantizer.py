@@ -1,0 +1,121 @@
+"""Tests for error-controlled quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quantizer import (
+    UNPREDICTABLE,
+    interval_radius,
+    num_intervals,
+    quantize,
+    reconstruct,
+)
+
+
+class TestIntervalArithmetic:
+    def test_radius(self):
+        assert interval_radius(8) == 128
+        assert interval_radius(2) == 2
+        assert interval_radius(16) == 32768
+
+    def test_num_intervals_paper_values(self):
+        # Paper Fig. 4 uses 15, 63, 255, 511, 2047, 4095, 16383, 65535.
+        assert num_intervals(4) == 15
+        assert num_intervals(6) == 63
+        assert num_intervals(8) == 255
+        assert num_intervals(12) == 4095
+        assert num_intervals(16) == 65535
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            interval_radius(1)
+        with pytest.raises(ValueError):
+            interval_radius(17)
+
+
+class TestQuantize:
+    def test_perfect_prediction_center_code(self):
+        values = np.array([1.0, 2.0, 3.0])
+        codes, recon, ok = quantize(values, values.copy(), 0.01, 128, np.dtype(np.float64))
+        np.testing.assert_array_equal(codes, [128, 128, 128])
+        assert ok.all()
+        np.testing.assert_allclose(recon, values)
+
+    def test_error_bound_guarantee(self, rng):
+        values = rng.standard_normal(1000) * 10
+        preds = values + rng.uniform(-0.5, 0.5, 1000)
+        eb = 0.01
+        codes, recon, ok = quantize(values, preds, eb, 128, np.dtype(np.float64))
+        assert ok.all()  # offsets up to 25 intervals, radius 128 covers it
+        assert np.abs(values - recon).max() <= eb
+
+    def test_miss_when_offset_exceeds_radius(self):
+        values = np.array([100.0])
+        preds = np.array([0.0])
+        codes, _, ok = quantize(values, preds, 0.1, 4, np.dtype(np.float64))
+        assert codes[0] == UNPREDICTABLE
+        assert not ok[0]
+
+    def test_code_range(self, rng):
+        values = rng.uniform(-1, 1, 500)
+        preds = rng.uniform(-1, 1, 500)
+        radius = 16
+        codes, _, ok = quantize(values, preds, 0.05, radius, np.dtype(np.float64))
+        assert codes.min() >= 0
+        assert codes.max() <= 2 * radius - 1
+        assert (codes[ok] >= 1).all()
+
+    def test_nan_and_inf_are_unpredictable(self):
+        values = np.array([np.nan, np.inf, -np.inf, 1.0])
+        preds = np.zeros(4)
+        codes, _, ok = quantize(values, preds, 1.0, 128, np.dtype(np.float64))
+        np.testing.assert_array_equal(ok, [False, False, False, True])
+        assert (codes[:3] == UNPREDICTABLE).all()
+
+    def test_float32_rounding_respected(self):
+        # A value whose float32 ulp (64 at 1e9) dwarfs the bound: the f64
+        # quantization would pass, but rounding recon through float32
+        # breaks the bound, so the point must be marked unpredictable.
+        values = np.array([1.0e9 + 17.0], dtype=np.float64)
+        preds = np.array([1.0e9])
+        eb = 1e-3
+        codes, recon, ok = quantize(values, preds, eb, 32768, np.dtype(np.float32))
+        assert not ok[0]
+
+    def test_reconstruct_inverts_quantize(self, rng):
+        values = rng.standard_normal(300)
+        preds = values + rng.uniform(-0.2, 0.2, 300)
+        eb = 0.01
+        codes, recon, ok = quantize(values, preds, eb, 128, np.dtype(np.float64))
+        recon2 = reconstruct(preds, codes, eb, 128, np.dtype(np.float64))
+        np.testing.assert_array_equal(recon[ok], recon2[ok])
+        assert np.isnan(recon2[~ok]).all()
+
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(-1e6, 1e6),
+        st.floats(1e-9, 1e3),
+        st.sampled_from([2, 8, 16, 128, 32768]),
+    )
+    def test_bound_property(self, value, pred, eb, radius):
+        values = np.array([value])
+        preds = np.array([pred])
+        codes, recon, ok = quantize(values, preds, eb, radius, np.dtype(np.float64))
+        if ok[0]:
+            assert abs(value - recon[0]) <= eb
+            assert 1 <= codes[0] <= 2 * radius - 1
+        else:
+            assert codes[0] == UNPREDICTABLE
+
+    def test_interval_uniformity(self):
+        """Adjacent codes reconstruct exactly 2*eb apart (uniform intervals,
+        the paper's contrast with vector quantization)."""
+        eb = 0.25
+        preds = np.zeros(9)
+        codes = np.arange(124, 133)
+        recon = reconstruct(preds, codes, eb, 128, np.dtype(np.float64))
+        np.testing.assert_allclose(np.diff(recon), 2 * eb)

@@ -1,0 +1,85 @@
+"""Tests for ragged-array index utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.ragged import (
+    count_true_per_segment,
+    intra_segment_positions,
+    last_true_index,
+    ragged_take,
+    segment_ids,
+    segment_starts,
+)
+
+
+class TestSegmentStarts:
+    def test_basic(self):
+        np.testing.assert_array_equal(segment_starts([3, 1, 2]), [0, 3, 4])
+
+    def test_empty_segments_allowed(self):
+        np.testing.assert_array_equal(segment_starts([0, 0, 5, 0]), [0, 0, 0, 5])
+
+    def test_single(self):
+        np.testing.assert_array_equal(segment_starts([7]), [0])
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        np.testing.assert_array_equal(segment_ids([2, 0, 3]), [0, 0, 2, 2, 2])
+
+    @given(st.lists(st.integers(0, 6), max_size=30))
+    def test_length_matches_total(self, lens):
+        ids = segment_ids(lens)
+        assert ids.size == sum(lens)
+
+
+class TestIntraSegmentPositions:
+    def test_basic(self):
+        np.testing.assert_array_equal(
+            intra_segment_positions([3, 1, 2]), [0, 1, 2, 0, 0, 1]
+        )
+
+    def test_empty(self):
+        assert intra_segment_positions([]).size == 0
+        assert intra_segment_positions([0, 0]).size == 0
+
+    @given(st.lists(st.integers(0, 6), max_size=30))
+    def test_positions_below_own_length(self, lens):
+        pos = intra_segment_positions(lens)
+        ids = segment_ids(lens)
+        lens_arr = np.asarray(lens)
+        if pos.size:
+            assert np.all(pos < lens_arr[ids])
+            assert np.all(pos >= 0)
+
+
+class TestRaggedTake:
+    def test_gather(self):
+        flat = np.array([10, 11, 12, 20, 30, 31])
+        lens = np.array([3, 1, 2])
+        got = ragged_take(flat, lens, np.array([0, 2, 1]), np.array([2, 1, 0]))
+        np.testing.assert_array_equal(got, [12, 31, 20])
+
+
+class TestLastTrueIndex:
+    def test_rows(self):
+        mask = np.array([[0, 1, 0, 1], [0, 0, 0, 0], [1, 0, 0, 0]], dtype=bool)
+        np.testing.assert_array_equal(last_true_index(mask, axis=1), [3, -1, 0])
+
+    def test_all_true(self):
+        mask = np.ones((2, 5), dtype=bool)
+        np.testing.assert_array_equal(last_true_index(mask, axis=1), [4, 4])
+
+
+class TestCountTruePerSegment:
+    def test_counts(self):
+        lens = [2, 0, 3]
+        seg = segment_ids(lens)
+        mask = np.array([True, False, True, True, False])
+        np.testing.assert_array_equal(
+            count_true_per_segment(mask, seg, 3), [1, 0, 2]
+        )

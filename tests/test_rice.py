@@ -1,0 +1,90 @@
+"""Tests for Golomb-Rice coding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.rice import (
+    optimal_rice_parameter,
+    rice_decode,
+    rice_encode,
+    unzigzag,
+    zigzag,
+)
+
+
+class TestZigzag:
+    def test_known_values(self):
+        np.testing.assert_array_equal(
+            zigzag(np.array([0, -1, 1, -2, 2])), [0, 1, 2, 3, 4]
+        )
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=50))
+    def test_roundtrip(self, vals):
+        arr = np.array(vals, dtype=np.int64)
+        np.testing.assert_array_equal(unzigzag(zigzag(arr)), arr)
+
+
+class TestRice:
+    @pytest.mark.parametrize("k", [0, 1, 4, 8])
+    def test_roundtrip_small(self, k, rng):
+        values = rng.integers(0, 200, 100).astype(np.uint64)
+        buf, nbits = rice_encode(values, k)
+        out, consumed = rice_decode(buf, values.size, k)
+        np.testing.assert_array_equal(out, values)
+        assert consumed == nbits
+
+    def test_k0_is_unary(self):
+        buf, nbits = rice_encode(np.array([3], dtype=np.uint64), 0)
+        assert nbits == 4  # 0001
+        assert buf[0] == 0b00010000
+
+    def test_geometric_source_near_optimal(self, rng):
+        values = rng.geometric(0.25, 2000).astype(np.uint64) - 1
+        k = optimal_rice_parameter(values)
+        buf, nbits = rice_encode(values, k)
+        p = 0.25
+        entropy = (-(1 - p) * np.log2(1 - p) - p * np.log2(p)) / p
+        assert nbits / values.size < entropy + 1.5
+
+    def test_empty(self):
+        buf, nbits = rice_encode(np.array([], dtype=np.uint64), 3)
+        assert nbits == 0
+        out, consumed = rice_decode(buf, 0, 3)
+        assert out.size == 0 and consumed == 0
+
+    def test_truncated_stream_raises(self):
+        values = np.array([100, 100], dtype=np.uint64)
+        buf, nbits = rice_encode(values, 2)
+        with pytest.raises(EOFError):
+            rice_decode(buf[: max(1, len(buf) // 4)], 2, 2)
+
+    def test_bad_parameter_raises(self):
+        with pytest.raises(ValueError):
+            rice_encode(np.array([1], dtype=np.uint64), -1)
+        with pytest.raises(ValueError):
+            rice_encode(np.array([1], dtype=np.uint64), 58)
+
+    def test_huge_quotient_guard(self):
+        with pytest.raises(ValueError):
+            rice_encode(np.array([2**40], dtype=np.uint64), 0)
+
+    @given(st.integers(0, 12), st.integers(1, 2**31))
+    def test_roundtrip_property(self, k, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 5000, int(rng.integers(1, 60))).astype(np.uint64)
+        buf, nbits = rice_encode(values, k)
+        out, consumed = rice_decode(buf, values.size, k)
+        np.testing.assert_array_equal(out, values)
+        assert consumed == nbits
+
+    def test_bit_offset_decode(self):
+        values = np.array([5, 9], dtype=np.uint64)
+        buf, nbits = rice_encode(values, 2)
+        bits = np.unpackbits(buf)[:nbits]
+        shifted = np.packbits(np.concatenate([np.zeros(5, np.uint8), bits]))
+        out, _ = rice_decode(shifted, 2, 2, bit_offset=5)
+        np.testing.assert_array_equal(out, values)

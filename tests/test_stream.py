@@ -1,0 +1,118 @@
+"""Container-format tests: header integrity, versioning, fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compress, decompress
+from repro.core.stream import (
+    FLAG_CONSTANT,
+    Header,
+    read_container,
+    write_container,
+)
+from repro.encoding.huffman import HuffmanCodec
+
+
+class TestHeaderRoundtrip:
+    def test_constant_container(self):
+        header = Header(
+            np.dtype(np.float32), (10, 20), 8, 1, 0.5, 0.0, 0,
+            flags=FLAG_CONSTANT,
+        )
+        blob = write_container(header, None, None, b"", constant_value=3.25)
+        h2, codec, stream, payload, constant, arith = read_container(blob)
+        assert h2.is_constant and constant == 3.25
+        assert h2.shape == (10, 20)
+        assert h2.dtype == np.float32
+
+    def test_full_container_fields(self, rng):
+        codes = rng.integers(0, 256, 500)
+        codec = HuffmanCodec.from_symbols(codes, 256)
+        stream = codec.encode(codes)
+        header = Header(
+            np.dtype(np.float64), (5, 10, 10), 8, 2, 1e-4, 7.5, 3
+        )
+        blob = write_container(header, codec, stream, b"unpred-bytes")
+        h2, c2, s2, payload, _, _ = read_container(blob)
+        assert h2.shape == (5, 10, 10)
+        assert h2.dtype == np.float64
+        assert h2.interval_bits == 8 and h2.layers == 2
+        assert h2.eb_abs == 1e-4 and h2.value_range == 7.5
+        assert h2.unpred_count == 3
+        assert payload == b"unpred-bytes"
+        np.testing.assert_array_equal(c2.decode(s2), codes)
+
+    def test_eb_preserved_bitexact(self):
+        """Error bounds must survive the container bit-for-bit: the
+        decompressor's reconstruction arithmetic depends on them."""
+        eb = 1.0000000000000002e-7  # not representable in fewer bits
+        header = Header(np.dtype(np.float32), (4,), 8, 1, eb, 1.0, 0,
+                        flags=FLAG_CONSTANT)
+        blob = write_container(header, None, None, b"", 0.0)
+        h2 = read_container(blob)[0]
+        assert h2.eb_abs == eb
+
+
+class TestVersioning:
+    def test_wrong_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            read_container(b"XXXX" + b"\x00" * 64)
+
+    def test_wrong_version(self, smooth2d):
+        blob = bytearray(compress(smooth2d, rel_bound=1e-3))
+        blob[4] = 99  # version byte
+        with pytest.raises(ValueError, match="version"):
+            read_container(bytes(blob))
+
+    def test_empty_blob(self):
+        with pytest.raises(ValueError):
+            read_container(b"")
+
+
+class TestFuzzing:
+    """Corrupted containers must fail cleanly (ValueError), never crash
+    with index errors or produce silent garbage exceeding the recorded
+    shape."""
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_random_truncation(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((12, 12)).astype(np.float32)
+        blob = compress(data, rel_bound=1e-3)
+        cut = int(rng.integers(1, len(blob)))
+        try:
+            out = decompress(blob[:cut])
+        except (ValueError, EOFError):
+            return
+        assert out.shape == data.shape  # if it decodes, shape must hold
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_random_byte_flip(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((10, 14)).astype(np.float32)
+        blob = bytearray(compress(data, rel_bound=1e-3))
+        pos = int(rng.integers(0, len(blob)))
+        blob[pos] ^= int(rng.integers(1, 256))
+        try:
+            out = decompress(bytes(blob))
+        except (ValueError, EOFError, KeyError, OverflowError):
+            return
+        assert out.shape == data.shape
+
+    def test_swapped_sections_detected(self, rng):
+        data = rng.standard_normal(300).astype(np.float32)
+        a = compress(data, rel_bound=1e-3)
+        b = compress(data * 2, rel_bound=1e-2)
+        # splice the tail of b onto the head of a
+        chimera = a[: len(a) // 2] + b[len(b) // 2 :]
+        try:
+            out = decompress(chimera)
+            assert out.shape == data.shape
+        except (ValueError, EOFError):
+            pass
