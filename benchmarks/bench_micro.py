@@ -19,8 +19,8 @@ from repro.encoding.huffman import HuffmanCodec
 
 
 @pytest.fixture(scope="module")
-def field():
-    return load("ATM", scale="small")["FREQSH"]
+def field(bench_scale):
+    return load("ATM", scale=bench_scale)["FREQSH"]
 
 
 @pytest.fixture(scope="module")
@@ -81,6 +81,32 @@ class TestCompressorKernels:
         blob = compress(field, rel_bound=1e-4)
         out = benchmark(decompress, blob)
         assert out.shape == field.shape
+
+
+class TestTiledContainer:
+    """Smoke benchmarks of the v2 tiled container (CI runs these)."""
+
+    def test_compress_tiled(self, benchmark, field):
+        from repro.chunked import compress_tiled
+
+        blob = benchmark(compress_tiled, field, tile_shape=64,
+                         rel_bound=1e-4)
+        assert len(blob) < field.nbytes
+
+    def test_decompress_tiled(self, benchmark, field):
+        from repro.chunked import compress_tiled, decompress_tiled
+
+        blob = compress_tiled(field, tile_shape=64, rel_bound=1e-4)
+        out = benchmark(decompress_tiled, blob)
+        assert out.shape == field.shape
+
+    def test_decompress_region(self, benchmark, field):
+        from repro.chunked import compress_tiled, decompress_region
+
+        blob = compress_tiled(field, tile_shape=64, rel_bound=1e-4)
+        roi = tuple(slice(s // 4, s // 4 + 32) for s in field.shape)
+        out = benchmark(decompress_region, blob, roi)
+        assert out.shape == tuple(sl.stop - sl.start for sl in roi)
 
 
 class TestBaselineKernels:

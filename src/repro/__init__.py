@@ -14,6 +14,13 @@ Quickstart
 >>> assert abs(out - data).max() <= 1e-4 * (data.max() - data.min())
 """
 
+from repro.chunked import (
+    TiledReader,
+    TiledWriter,
+    compress_tiled,
+    decompress_region,
+    decompress_tiled,
+)
 from repro.core import (
     CompressionStats,
     SZ14Compressor,
@@ -27,8 +34,13 @@ __version__ = "1.4.0"
 __all__ = [
     "CompressionStats",
     "SZ14Compressor",
+    "TiledReader",
+    "TiledWriter",
     "compress",
+    "compress_tiled",
     "compress_with_stats",
     "decompress",
+    "decompress_region",
+    "decompress_tiled",
     "__version__",
 ]

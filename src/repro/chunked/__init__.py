@@ -1,0 +1,56 @@
+"""Tiled container v2: block-indexed compression with random access.
+
+The whole-array pipeline of :mod:`repro.core` compresses one prediction
+pass into one opaque container; this package decomposes the array into
+fixed-shape tiles, runs that same pipeline per tile, and adds a footer
+index (offset, length, CRC32, quantization-histogram summary per tile).
+That single format change buys three capabilities:
+
+* **parallel compression** — tiles are independent, so
+  :func:`compress_tiled` fans out over a process pool and still emits a
+  byte-identical container;
+* **random access** — :func:`decompress_region` touches only the tiles
+  intersecting a requested hyperslab (auditable via
+  :class:`ByteAccountant`);
+* **streaming** — :class:`TiledWriter` / :class:`TiledReader` move one
+  tile-row at a time, so arrays larger than RAM round-trip through a
+  file handle.
+"""
+
+from repro.chunked.format import (
+    TiledHeader,
+    TileEntry,
+    TileGrid,
+    is_tiled,
+)
+from repro.chunked.io import ByteAccountant
+from repro.chunked.streams import TiledReader, TiledWriter, default_tile_shape
+from repro.chunked.tiled import (
+    compress_file_tiled,
+    compress_tiled,
+    container_info_any,
+    decompress_any,
+    decompress_region,
+    decompress_tiled,
+    region_of_interest_cost,
+    tiled_container_info,
+)
+
+__all__ = [
+    "ByteAccountant",
+    "TileEntry",
+    "TileGrid",
+    "TiledHeader",
+    "TiledReader",
+    "TiledWriter",
+    "compress_file_tiled",
+    "compress_tiled",
+    "container_info_any",
+    "decompress_any",
+    "decompress_region",
+    "decompress_tiled",
+    "default_tile_shape",
+    "is_tiled",
+    "region_of_interest_cost",
+    "tiled_container_info",
+]

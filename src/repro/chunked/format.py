@@ -1,0 +1,350 @@
+"""Tiled container format v2 (``SZRT``): block-indexed SZ compression.
+
+A v2 container splits an N-d array into fixed-shape tiles, compresses
+each tile independently as a standard v1 container (``repro.core``), and
+appends a self-describing footer index so any tile can be located and
+verified without touching the rest of the file.
+
+Byte layout (all integers big-endian)::
+
+    header:
+        magic 'SZRT' (4) | version=2 (1) | dtype code (1) | ndim (1) |
+        flags (1) | shape: ndim x 8 | tile_shape: ndim x 8 |
+        abs_bound: raw float64 bits (8) | rel_bound: raw float64 bits (8)
+    tile payloads, concatenated in C order of the tile grid
+        (each payload is a complete v1 'SZRP' container)
+    index: n_tiles x 42-byte entries:
+        offset (8) | length (6) | crc32 (4) |
+        n_values (6) | n_unpredictable (6) |
+        mode_count (6) | nonzero_bins (6)
+    tail (24 bytes):
+        index offset (8) | index length (8) | index crc32 (4) |
+        end magic 'SZRX' (4)
+
+The header is written before any tile, the index after the last one, so
+the format supports single-pass streaming writes; readers locate the
+index through the fixed-size tail, which makes random access a
+two-seek operation on file-backed sources.  ``abs_bound``/``rel_bound``
+store the *requested* bounds (NaN when unset); each tile's v1 header
+carries the absolute bound that tile actually used.
+
+The per-tile ``(n_values, n_unpredictable, mode_count, nonzero_bins)``
+quadruple summarizes the tile's quantization-code histogram: hit rate is
+``1 - n_unpredictable / n_values``, the mode share ``mode_count /
+n_values`` bounds the entropy from below, and ``nonzero_bins`` is the
+effective alphabet — the statistics ratio-quality models need without
+decompressing anything.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "END_MAGIC",
+    "VERSION",
+    "TiledHeader",
+    "TileEntry",
+    "TileGrid",
+    "is_tiled",
+    "write_header",
+    "read_header",
+    "build_index",
+    "parse_index",
+    "build_tail",
+    "parse_tail",
+    "TAIL_BYTES",
+    "ENTRY_BYTES",
+]
+
+MAGIC = b"SZRT"
+END_MAGIC = b"SZRX"
+VERSION = 2
+
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+_CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+ENTRY_BYTES = 42
+TAIL_BYTES = 24
+
+
+def _f64_raw(x: float | None) -> bytes:
+    return np.float64(math.nan if x is None else x).tobytes()
+
+
+def _raw_f64(b: bytes) -> float | None:
+    x = float(np.frombuffer(b, dtype=np.float64)[0])
+    return None if math.isnan(x) else x
+
+
+@dataclass(frozen=True)
+class TiledHeader:
+    """Fixed-size leading header of a v2 container."""
+
+    dtype: np.dtype
+    shape: tuple[int, ...]
+    tile_shape: tuple[int, ...]
+    abs_bound: float | None
+    rel_bound: float | None
+    flags: int = 0
+
+    @property
+    def header_bytes(self) -> int:
+        return 8 + 16 * len(self.shape) + 16
+
+    @property
+    def n_values(self) -> int:
+        return int(np.prod(self.shape))
+
+
+@dataclass(frozen=True)
+class TileEntry:
+    """One footer-index row: where a tile lives and what is inside it."""
+
+    offset: int
+    length: int
+    crc32: int
+    n_values: int
+    n_unpredictable: int
+    mode_count: int
+    nonzero_bins: int
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.n_unpredictable / max(1, self.n_values)
+
+    @property
+    def mode_share(self) -> float:
+        return self.mode_count / max(1, self.n_values)
+
+
+def is_tiled(blob: bytes) -> bool:
+    """True when ``blob`` starts with the v2 tiled magic."""
+    return bytes(blob[:4]) == MAGIC
+
+
+def write_header(header: TiledHeader) -> bytes:
+    if len(header.shape) != len(header.tile_shape):
+        raise ValueError("shape and tile_shape must have the same rank")
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out.append(_DTYPE_CODES[np.dtype(header.dtype)])
+    out.append(len(header.shape))
+    out.append(header.flags)
+    for s in header.shape:
+        out += int(s).to_bytes(8, "big")
+    for t in header.tile_shape:
+        out += int(t).to_bytes(8, "big")
+    out += _f64_raw(header.abs_bound)
+    out += _f64_raw(header.rel_bound)
+    return bytes(out)
+
+
+def read_header(buf: bytes) -> TiledHeader:
+    """Parse the leading header from at least its first bytes."""
+    if len(buf) < 8:
+        raise ValueError("truncated tiled container: short header")
+    if buf[:4] != MAGIC:
+        raise ValueError("not a tiled (SZRT) container: bad magic")
+    if buf[4] != VERSION:
+        raise ValueError(f"unsupported tiled container version {buf[4]}")
+    try:
+        dtype = _CODE_DTYPES[buf[5]]
+    except KeyError:
+        raise ValueError(f"unknown dtype code {buf[5]}") from None
+    ndim = buf[6]
+    if ndim < 1:
+        raise ValueError("tiled container must have ndim >= 1")
+    flags = buf[7]
+    need = 8 + 16 * ndim + 16
+    if len(buf) < need:
+        raise ValueError("truncated tiled container: short header")
+    pos = 8
+    shape = []
+    for _ in range(ndim):
+        shape.append(int.from_bytes(buf[pos : pos + 8], "big"))
+        pos += 8
+    tile_shape = []
+    for _ in range(ndim):
+        tile_shape.append(int.from_bytes(buf[pos : pos + 8], "big"))
+        pos += 8
+    abs_bound = _raw_f64(buf[pos : pos + 8])
+    rel_bound = _raw_f64(buf[pos + 8 : pos + 16])
+    if any(s < 1 for s in shape) or any(t < 1 for t in tile_shape):
+        raise ValueError("corrupt tiled container: non-positive extent")
+    if any(t > s for t, s in zip(tile_shape, shape)):
+        raise ValueError("corrupt tiled container: tile larger than array")
+    return TiledHeader(
+        dtype, tuple(shape), tuple(tile_shape), abs_bound, rel_bound, flags
+    )
+
+
+def build_index(entries: list[TileEntry]) -> bytes:
+    out = bytearray()
+    for e in entries:
+        out += e.offset.to_bytes(8, "big")
+        out += e.length.to_bytes(6, "big")
+        out += e.crc32.to_bytes(4, "big")
+        out += e.n_values.to_bytes(6, "big")
+        out += e.n_unpredictable.to_bytes(6, "big")
+        out += e.mode_count.to_bytes(6, "big")
+        out += e.nonzero_bins.to_bytes(6, "big")
+    return bytes(out)
+
+
+def parse_index(buf: bytes, n_tiles: int) -> list[TileEntry]:
+    if len(buf) != n_tiles * ENTRY_BYTES:
+        raise ValueError(
+            f"corrupt tiled container: index holds {len(buf)} bytes for "
+            f"{n_tiles} tiles ({n_tiles * ENTRY_BYTES} expected)"
+        )
+    entries = []
+    for i in range(n_tiles):
+        p = i * ENTRY_BYTES
+        entries.append(
+            TileEntry(
+                offset=int.from_bytes(buf[p : p + 8], "big"),
+                length=int.from_bytes(buf[p + 8 : p + 14], "big"),
+                crc32=int.from_bytes(buf[p + 14 : p + 18], "big"),
+                n_values=int.from_bytes(buf[p + 18 : p + 24], "big"),
+                n_unpredictable=int.from_bytes(buf[p + 24 : p + 30], "big"),
+                mode_count=int.from_bytes(buf[p + 30 : p + 36], "big"),
+                nonzero_bins=int.from_bytes(buf[p + 36 : p + 42], "big"),
+            )
+        )
+    return entries
+
+
+def build_tail(index_offset: int, index_length: int, index_crc: int) -> bytes:
+    return (
+        index_offset.to_bytes(8, "big")
+        + index_length.to_bytes(8, "big")
+        + index_crc.to_bytes(4, "big")
+        + END_MAGIC
+    )
+
+
+def parse_tail(tail: bytes) -> tuple[int, int, int]:
+    """Return ``(index_offset, index_length, index_crc32)`` from the tail."""
+    if len(tail) != TAIL_BYTES:
+        raise ValueError("truncated tiled container: short tail")
+    if tail[20:24] != END_MAGIC:
+        raise ValueError("truncated tiled container: bad end magic")
+    return (
+        int.from_bytes(tail[0:8], "big"),
+        int.from_bytes(tail[8:16], "big"),
+        int.from_bytes(tail[16:20], "big"),
+    )
+
+
+def verify_index(buf: bytes, crc: int) -> None:
+    if zlib.crc32(buf) & 0xFFFFFFFF != crc:
+        raise ValueError("corrupt tiled container: index CRC mismatch")
+
+
+class TileGrid:
+    """Geometry of the tile decomposition: C-ordered fixed-shape tiles.
+
+    Edge tiles are clipped to the array, so tile shapes need not divide
+    the data evenly.
+    """
+
+    def __init__(self, shape: tuple[int, ...], tile_shape: tuple[int, ...]):
+        shape = tuple(int(s) for s in shape)
+        tile_shape = tuple(int(t) for t in tile_shape)
+        if len(shape) != len(tile_shape):
+            raise ValueError("shape and tile_shape must have the same rank")
+        if any(s < 1 for s in shape):
+            raise ValueError("array extents must be positive")
+        if any(t < 1 for t in tile_shape):
+            raise ValueError("tile extents must be positive")
+        self.shape = shape
+        self.tile_shape = tuple(min(t, s) for t, s in zip(tile_shape, shape))
+        self.grid = tuple(
+            -(-s // t) for s, t in zip(self.shape, self.tile_shape)
+        )
+        self.n_tiles = int(np.prod(self.grid))
+
+    def coord(self, index: int) -> tuple[int, ...]:
+        """Grid coordinate of flat tile ``index`` (C order)."""
+        if not 0 <= index < self.n_tiles:
+            raise IndexError(f"tile index {index} out of range")
+        return tuple(int(c) for c in np.unravel_index(index, self.grid))
+
+    def tile_slices(self, index: int) -> tuple[slice, ...]:
+        """Array slices covered by flat tile ``index``."""
+        coord = self.coord(index)
+        return tuple(
+            slice(c * t, min((c + 1) * t, s))
+            for c, t, s in zip(coord, self.tile_shape, self.shape)
+        )
+
+    def tile_data_shape(self, index: int) -> tuple[int, ...]:
+        return tuple(sl.stop - sl.start for sl in self.tile_slices(index))
+
+    def normalize_region(
+        self, region
+    ) -> tuple[tuple[slice, ...], tuple[int, ...]]:
+        """Canonicalize a region spec into per-axis ``slice`` objects.
+
+        Accepts a single slice/int or a tuple of them; missing trailing
+        axes default to the full extent.  Integers select one index and
+        (like NumPy) drop that axis — the second return value lists the
+        axes to squeeze.  Steps other than 1 are rejected.
+        """
+        if not isinstance(region, tuple):
+            region = (region,)
+        if len(region) > len(self.shape):
+            raise ValueError(
+                f"region has {len(region)} axes, array has {len(self.shape)}"
+            )
+        region = region + (slice(None),) * (len(self.shape) - len(region))
+        out = []
+        squeeze = []
+        for axis, (item, extent) in enumerate(zip(region, self.shape)):
+            if isinstance(item, (int, np.integer)):
+                idx = int(item)
+                if idx < 0:
+                    idx += extent
+                if not 0 <= idx < extent:
+                    raise IndexError(
+                        f"index {item} out of bounds for axis {axis} "
+                        f"(extent {extent})"
+                    )
+                out.append(slice(idx, idx + 1))
+                squeeze.append(axis)
+            elif isinstance(item, slice):
+                if item.step not in (None, 1):
+                    raise ValueError("region slices must have step 1")
+                start, stop, _ = item.indices(extent)
+                if stop < start:
+                    stop = start
+                out.append(slice(start, stop))
+            else:
+                raise TypeError(f"unsupported region item: {item!r}")
+        return tuple(out), tuple(squeeze)
+
+    def tiles_intersecting(self, region: tuple[slice, ...]) -> list[int]:
+        """Flat indices (C order) of tiles overlapping ``region``.
+
+        ``region`` must already be normalized (step-1 slices with
+        resolved bounds).
+        """
+        per_axis = []
+        for sl, t, g in zip(region, self.tile_shape, self.grid):
+            if sl.stop <= sl.start:
+                return []
+            first = sl.start // t
+            last = (sl.stop - 1) // t
+            per_axis.append(range(first, min(last, g - 1) + 1))
+        mesh = np.meshgrid(*[np.asarray(r) for r in per_axis], indexing="ij")
+        coords = np.stack([m.ravel() for m in mesh], axis=-1)
+        return [
+            int(np.ravel_multi_index(tuple(c), self.grid)) for c in coords
+        ]

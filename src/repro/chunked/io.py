@@ -1,0 +1,104 @@
+"""Byte sources with read accounting for tiled containers.
+
+``ByteAccountant`` records every ``(offset, length)`` range a reader
+touches; tests (and cost models) use it to prove that a region read
+never pulls bytes belonging to tiles outside the requested hyperslab.
+``open_source`` wraps bytes, a filesystem path, or a seekable binary
+file handle behind one positional-read interface.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+__all__ = ["ByteAccountant", "ByteSource", "open_source"]
+
+
+class ByteAccountant:
+    """Records byte ranges read from a container source."""
+
+    def __init__(self) -> None:
+        self.reads: list[tuple[int, int]] = []
+
+    def record(self, offset: int, length: int) -> None:
+        self.reads.append((offset, length))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n for _, n in self.reads)
+
+    def touched(self, offset: int, length: int) -> bool:
+        """Did any recorded read overlap ``[offset, offset + length)``?"""
+        end = offset + length
+        return any(o < end and offset < o + n for o, n in self.reads if n)
+
+    def clear(self) -> None:
+        self.reads.clear()
+
+
+class ByteSource:
+    """Positional reads over bytes or a seekable binary file handle."""
+
+    def __init__(
+        self,
+        raw,
+        accountant: ByteAccountant | None = None,
+        close: bool = False,
+    ) -> None:
+        self._close = close
+        self.accountant = accountant
+        if isinstance(raw, (bytes, bytearray, memoryview)):
+            self._buf: bytes | None = bytes(raw)
+            self._fh = None
+            self._size = len(self._buf)
+        else:
+            self._buf = None
+            self._fh = raw
+            raw.seek(0, os.SEEK_END)
+            self._size = raw.tell()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read exactly ``length`` bytes at ``offset`` (raises when short)."""
+        if offset < 0 or length < 0 or offset + length > self._size:
+            raise ValueError(
+                f"truncated tiled container: need bytes "
+                f"[{offset}, {offset + length}) of {self._size}"
+            )
+        if self.accountant is not None:
+            self.accountant.record(offset, length)
+        if self._buf is not None:
+            return self._buf[offset : offset + length]
+        self._fh.seek(offset)
+        data = self._fh.read(length)
+        if len(data) != length:
+            raise ValueError("truncated tiled container: short read")
+        return data
+
+    def close(self) -> None:
+        if self._close and self._fh is not None:
+            self._fh.close()
+
+    def __enter__(self) -> "ByteSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_source(
+    src, accountant: ByteAccountant | None = None
+) -> ByteSource:
+    """Wrap ``bytes``, a path, or a binary file handle as a ByteSource."""
+    if isinstance(src, (bytes, bytearray, memoryview)):
+        return ByteSource(src, accountant)
+    if isinstance(src, (str, Path)):
+        return ByteSource(open(src, "rb"), accountant, close=True)
+    if isinstance(src, io.IOBase) or hasattr(src, "seek"):
+        return ByteSource(src, accountant)
+    raise TypeError(f"unsupported container source: {type(src).__name__}")

@@ -6,10 +6,15 @@ Subcommands
     Show registered experiments.
 ``run EXPERIMENT [--scale tiny|small|paper]``
     Run one experiment (or ``all``) and print its table.
-``compress IN.npy OUT.sz [--rel 1e-4 | --abs EB] [--layers N] [--bits M]``
-    Compress a NumPy array file.
-``decompress IN.sz OUT.npy``
-    Decompress a container back to ``.npy``.
+``compress IN.npy OUT.sz [--rel 1e-4 | --abs EB] [--layers N] [--bits M]
+[--tile T0,T1,... --workers N]``
+    Compress a NumPy array file; ``--tile`` writes a block-indexed tiled
+    (v2) container, streamed slab-by-slab so the input may exceed RAM.
+``decompress IN.sz OUT.npy [--region 0:10,5:20]``
+    Decompress a container back to ``.npy``; ``--region`` extracts a
+    hyperslab (reading only the intersecting tiles of a v2 container).
+``info FILE.sz``
+    Pretty-print container metadata for v1 and tiled v2 containers.
 """
 
 from __future__ import annotations
@@ -43,7 +48,71 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _parse_tile(spec: str, ndim: int) -> tuple[int, ...]:
+    try:
+        parts = [int(p) for p in spec.split(",") if p]
+    except ValueError:
+        raise SystemExit(
+            f"bad --tile {spec!r}: use comma-separated integers"
+        ) from None
+    if len(parts) == 1:
+        parts = parts * ndim
+    if len(parts) != ndim:
+        raise SystemExit(
+            f"--tile has {len(parts)} axes but the array has {ndim}"
+        )
+    if any(p < 1 for p in parts):
+        raise SystemExit("--tile extents must be positive")
+    return tuple(parts)
+
+
+def _parse_region(spec: str) -> tuple:
+    """Parse ``"0:10,5:,3"`` into a tuple of slices/ints."""
+    items: list = []
+    for part in spec.split(","):
+        part = part.strip()
+        try:
+            if ":" in part:
+                bounds = part.split(":")
+                if len(bounds) != 2:
+                    raise ValueError
+                start = int(bounds[0]) if bounds[0] else None
+                stop = int(bounds[1]) if bounds[1] else None
+                items.append(slice(start, stop))
+            elif part:
+                items.append(int(part))
+            else:
+                items.append(slice(None))
+        except ValueError:
+            raise SystemExit(
+                f"bad region axis {part!r}: use start:stop or an integer"
+            ) from None
+    return tuple(items)
+
+
 def _cmd_compress(args) -> int:
+    if args.tile is not None:
+        from repro.chunked import compress_file_tiled
+
+        shape = np.load(args.input, mmap_mode="r").shape
+        summary = compress_file_tiled(
+            args.input,
+            args.output,
+            tile_shape=_parse_tile(args.tile, len(shape)),
+            workers=args.workers,
+            abs_bound=args.abs_bound,
+            rel_bound=args.rel_bound,
+            layers=args.layers,
+            interval_bits=args.bits,
+            adaptive=args.adaptive,
+        )
+        print(
+            f"{args.input}: {summary['original_bytes']} -> "
+            f"{summary['compressed_bytes']} bytes "
+            f"(CF {summary['compression_factor']:.2f}, "
+            f"{summary['n_tiles']} tiles of {summary['tile_shape']})"
+        )
+        return 0
     data = np.load(args.input)
     blob, stats = compress_with_stats(
         data,
@@ -64,21 +133,59 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    from repro.chunked import decompress_region, is_tiled
+
     with open(args.input, "rb") as fh:
-        blob = fh.read()
-    data = decompress(blob)
+        head = fh.read(4)
+    if args.region is not None:
+        region = _parse_region(args.region)
+        if is_tiled(head):
+            data = decompress_region(args.input, region)
+        else:
+            with open(args.input, "rb") as fh:
+                data = decompress(fh.read())[region]
+        np.save(args.output, data)
+        print(
+            f"{args.input}[{args.region}]: restored {data.shape} "
+            f"{data.dtype} -> {args.output}"
+        )
+        return 0
+    if is_tiled(head):
+        from repro.chunked import decompress_tiled
+
+        data = decompress_tiled(args.input)
+    else:
+        with open(args.input, "rb") as fh:
+            data = decompress(fh.read())
     np.save(args.output, data)
     print(f"{args.input}: restored {data.shape} {data.dtype} -> {args.output}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    from repro.core import container_info
+    from repro.chunked import container_info_any
+    from repro.metrics import tile_ratio_stats
 
-    with open(args.input, "rb") as fh:
-        blob = fh.read()
-    for key, value in container_info(blob).items():
+    info = container_info_any(args.input)
+    tile_bytes = info.pop("tile_bytes", None)
+    tile_values = info.pop("tile_values", None)
+    hit_rates = info.pop("tile_hit_rates", None)
+    info.pop("tile_compression_factors", None)
+    for key, value in info.items():
         print(f"{key:18s} {value}")
+    if tile_bytes:
+        stats = tile_ratio_stats(
+            tile_bytes, tile_values, np.dtype(info["dtype"]).itemsize
+        )
+        print(
+            f"{'tile CF':18s} mean {stats['cf_mean']:.2f}  "
+            f"std {stats['cf_std']:.2f}  min {stats['cf_min']:.2f}  "
+            f"max {stats['cf_max']:.2f}"
+        )
+        print(
+            f"{'tile hit rate':18s} mean {np.mean(hit_rates):.1%}  "
+            f"min {np.min(hit_rates):.1%}"
+        )
     return 0
 
 
@@ -115,14 +222,28 @@ def main(argv: list[str] | None = None) -> int:
     p_c.add_argument("--layers", type=int, default=1)
     p_c.add_argument("--bits", type=int, default=8)
     p_c.add_argument("--adaptive", action="store_true")
+    p_c.add_argument(
+        "--tile", default=None, metavar="T0[,T1,...]",
+        help="write a tiled (v2) container with these tile extents "
+             "(one int = cubic tiles)",
+    )
+    p_c.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for tiled compression",
+    )
     p_c.set_defaults(func=_cmd_compress)
 
     p_d = sub.add_parser("decompress", help="decompress a container")
     p_d.add_argument("input")
     p_d.add_argument("output")
+    p_d.add_argument(
+        "--region", default=None, metavar="S0,S1,...",
+        help="extract a hyperslab, e.g. '0:10,5:20,3'; on tiled "
+             "containers only the intersecting tiles are read",
+    )
     p_d.set_defaults(func=_cmd_decompress)
 
-    p_i = sub.add_parser("info", help="inspect a container header")
+    p_i = sub.add_parser("info", help="inspect a container (v1 or tiled v2)")
     p_i.add_argument("input")
     p_i.set_defaults(func=_cmd_info)
 

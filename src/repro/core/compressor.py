@@ -19,6 +19,7 @@ True
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,7 +52,11 @@ __all__ = [
 ]
 
 _MAX_INTERVAL_BITS = 16
-_PLAN_CACHE: dict[tuple, WavefrontPlan] = {}
+_PLAN_CACHE: OrderedDict[tuple, WavefrontPlan] = OrderedDict()
+_PLAN_CACHE_MAX = 32
+"""LRU bound: a long-lived tiled job cycling through many (tile shape,
+layers) pairs must not grow the cache without limit; evicting the least
+recently used plan keeps the hot interior-tile shape resident."""
 
 
 @dataclass
@@ -113,10 +118,12 @@ def _get_plan(shape: tuple[int, ...], layers: int) -> WavefrontPlan:
     key = (shape, layers)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        if len(_PLAN_CACHE) > 32:
-            _PLAN_CACHE.clear()
         plan = WavefrontPlan(shape, layers)
         _PLAN_CACHE[key] = plan
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    else:
+        _PLAN_CACHE.move_to_end(key)
     return plan
 
 
@@ -282,28 +289,33 @@ def decompress(blob: bytes) -> np.ndarray:
     if header.is_constant:
         return np.full(header.shape, constant, dtype=header.dtype)
     expected = int(np.prod(header.shape))
-    if header.is_arithmetic:
-        from repro.encoding.arithmetic import decode_symbols
-        from repro.encoding.rice import unzigzag
+    try:
+        if header.is_arithmetic:
+            from repro.encoding.arithmetic import decode_symbols
+            from repro.encoding.rice import unzigzag
 
-        mapped = decode_symbols(
-            arith, expected, max_bits=header.interval_bits + 2
+            mapped = decode_symbols(
+                arith, expected, max_bits=header.interval_bits + 2
+            )
+            radius = interval_radius(header.interval_bits)
+            codes = np.where(
+                mapped == 0,
+                0,
+                unzigzag((mapped - 1).astype(np.uint64)) + radius,
+            )
+        else:
+            codes = codec.decode(stream)
+        if codes.size != expected:
+            raise ValueError(
+                f"corrupt container: {codes.size} codes for {expected} points"
+            )
+        unpred_recon = decode_unpredictable(
+            unpred_payload, header.unpred_count, header.eb_abs, header.dtype
         )
-        radius = interval_radius(header.interval_bits)
-        codes = np.where(
-            mapped == 0,
-            0,
-            unzigzag((mapped - 1).astype(np.uint64)) + radius,
-        )
-    else:
-        codes = codec.decode(stream)
-    if codes.size != expected:
-        raise ValueError(
-            f"corrupt container: {codes.size} codes for {expected} points"
-        )
-    unpred_recon = decode_unpredictable(
-        unpred_payload, header.unpred_count, header.eb_abs, header.dtype
-    )
+    except EOFError as exc:
+        # A corrupted (but length-preserving) payload must fail with the
+        # same clean ValueError contract as a truncated container.
+        raise ValueError(f"corrupt SZ-1.4 container: {exc}") from exc
     plan = _get_plan(header.shape, header.layers)
     radius = interval_radius(header.interval_bits)
     return wavefront_decompress(

@@ -128,15 +128,30 @@ def read_container(
         version = r.read(8)
         if version != VERSION:
             raise ValueError(f"unsupported container version {version}")
-        dtype = _CODE_DTYPES[r.read(8)]
+        dtype_code = r.read(8)
+        if dtype_code not in _CODE_DTYPES:
+            raise ValueError(f"corrupt container: unknown dtype code {dtype_code}")
+        dtype = _CODE_DTYPES[dtype_code]
         ndim = r.read(8)
+        if ndim < 1:
+            raise ValueError("corrupt container: ndim must be >= 1")
         interval_bits = r.read(8)
         layers = r.read(8)
         flags = r.read(8)
         shape = tuple(r.read(48) for _ in range(ndim))
+        if any(s < 1 for s in shape):
+            raise ValueError("corrupt container: non-positive extent")
         eb_abs = _bits_f64(r.read(64))
         value_range = _bits_f64(r.read(64))
         unpred_count = r.read(48)
+        n_values = 1
+        for s in shape:
+            n_values *= s
+        if unpred_count > n_values:
+            raise ValueError(
+                f"corrupt container: {unpred_count} unpredictable values "
+                f"for {n_values} points"
+            )
         header = Header(
             dtype, shape, interval_bits, layers, eb_abs, value_range,
             unpred_count, flags,
@@ -167,3 +182,7 @@ def read_container(
         return header, codec, stream, payload, 0.0, arith
     except EOFError as exc:
         raise ValueError(f"truncated SZ-1.4 container: {exc}") from exc
+    except (IndexError, KeyError, OverflowError) as exc:
+        # Bit-level noise in a corrupted table/stream section must not
+        # escape as raw IndexError/KeyError from the decoders.
+        raise ValueError(f"corrupt SZ-1.4 container: {exc!r}") from exc

@@ -17,7 +17,7 @@ from repro.metrics.rates import (
     compression_factor,
     throughput_mb_s,
 )
-from repro.metrics.report import QualityReport, evaluate
+from repro.metrics.report import QualityReport, evaluate, tile_ratio_stats
 
 __all__ = [
     "QualityReport",
@@ -33,4 +33,5 @@ __all__ = [
     "psnr",
     "rmse",
     "throughput_mb_s",
+    "tile_ratio_stats",
 ]

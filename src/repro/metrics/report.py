@@ -23,7 +23,7 @@ from repro.metrics.errors import (
 )
 from repro.metrics.rates import bit_rate, compression_factor, throughput_mb_s
 
-__all__ = ["QualityReport", "evaluate"]
+__all__ = ["QualityReport", "evaluate", "tile_ratio_stats"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,34 @@ class QualityReport:
         lines = ["| metric | value |", "|---|---|"]
         lines += [f"| {k.ljust(width)} | {v} |" for k, v in rows]
         return "\n".join(lines)
+
+
+def tile_ratio_stats(
+    tile_bytes, tile_values, itemsize: int = 4
+) -> dict:
+    """Per-tile compression-ratio dispersion of a tiled container.
+
+    ``tile_bytes``/``tile_values`` are the per-tile compressed sizes and
+    element counts (e.g. from the v2 footer index).  The variance of the
+    per-tile ratios is the signal ratio-quality models key on: smooth
+    fields compress uniformly (low variance) while localized features
+    concentrate the budget in few tiles (high variance).
+    """
+    sizes = np.asarray(tile_bytes, dtype=np.float64)
+    values = np.asarray(tile_values, dtype=np.float64)
+    if sizes.size == 0 or sizes.size != values.size:
+        raise ValueError("need matching, non-empty tile size/count lists")
+    cfs = values * itemsize / np.maximum(1.0, sizes)
+    mean = float(cfs.mean())
+    return {
+        "n_tiles": int(cfs.size),
+        "cf_mean": mean,
+        "cf_var": float(cfs.var()),
+        "cf_std": float(cfs.std()),
+        "cf_min": float(cfs.min()),
+        "cf_max": float(cfs.max()),
+        "cf_cv": float(cfs.std() / mean) if mean else 0.0,
+    }
 
 
 def evaluate(

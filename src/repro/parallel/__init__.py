@@ -9,12 +9,20 @@ filesystem bandwidth model behind Figure 10.
 """
 
 from repro.parallel.cluster import BluesClusterModel, ScalingRow
-from repro.parallel.files import create_archive, extract, extract_all, read_manifest
+from repro.parallel.files import (
+    archive_info,
+    create_archive,
+    extract,
+    extract_all,
+    extract_region,
+    read_manifest,
+)
 from repro.parallel.io_model import IOBreakdown, ParallelIOModel
 from repro.parallel.pool import (
+    measure_pool_scaling,
     parallel_compress,
     parallel_decompress,
-    measure_pool_scaling,
+    pool_map,
 )
 
 __all__ = [
@@ -22,11 +30,14 @@ __all__ = [
     "IOBreakdown",
     "ParallelIOModel",
     "ScalingRow",
+    "archive_info",
     "create_archive",
     "extract",
     "extract_all",
+    "extract_region",
     "measure_pool_scaling",
     "parallel_compress",
     "parallel_decompress",
+    "pool_map",
     "read_manifest",
 ]

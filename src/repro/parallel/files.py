@@ -23,11 +23,18 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import compress as sz_compress
-from repro.core import container_info
 from repro.core import decompress as sz_decompress
 from repro.parallel.pool import parallel_compress, parallel_decompress
 
-__all__ = ["ArchiveEntry", "create_archive", "read_manifest", "extract", "extract_all"]
+__all__ = [
+    "ArchiveEntry",
+    "archive_info",
+    "create_archive",
+    "extract",
+    "extract_all",
+    "extract_region",
+    "read_manifest",
+]
 
 _MAGIC = b"SZAR"
 _VERSION = 1
@@ -45,6 +52,7 @@ def create_archive(
     directory: str | Path | None = None,
     out_path: str | Path | None = None,
     n_workers: int = 1,
+    tile_shape=None,
     **compress_kwargs,
 ) -> bytes:
     """Build an archive from named arrays and/or a directory of ``.npy``.
@@ -52,7 +60,9 @@ def create_archive(
     Each variable is compressed independently (its own value range and
     bounds), so any entry can be extracted without touching the others —
     the property that makes the paper's off-line mode embarrassingly
-    parallel.
+    parallel.  With ``tile_shape`` every entry is written as a tiled
+    (v2) container, so hyperslabs of an entry can later be read via
+    :func:`extract_region` without decoding the rest of it.
     """
     items: list[tuple[str, np.ndarray]] = []
     if arrays:
@@ -66,7 +76,19 @@ def create_archive(
     if len(set(names)) != len(names):
         raise ValueError("duplicate entry names")
     chunks = [arr for _, arr in items]
-    if n_workers > 1:
+    if tile_shape is not None:
+        from repro.chunked import compress_tiled
+
+        # Tile-level fan-out: the per-entry index must be built in
+        # order anyway, and workers already parallelize within entries.
+        blobs = [
+            compress_tiled(
+                c, tile_shape=tile_shape, workers=n_workers,
+                **compress_kwargs,
+            )
+            for c in chunks
+        ]
+    elif n_workers > 1:
         blobs = parallel_compress(chunks, n_workers=n_workers, **compress_kwargs)
     else:
         blobs = [sz_compress(c, **compress_kwargs) for c in chunks]
@@ -117,14 +139,36 @@ def read_manifest(archive: bytes) -> list[ArchiveEntry]:
     return entries
 
 
-def extract(archive: bytes, name: str) -> np.ndarray:
-    """Decompress a single entry (no other entry is parsed)."""
+def _entry_blob(archive: bytes, entry: ArchiveEntry) -> bytes:
+    return archive[entry.offset : entry.offset + entry.length]
+
+
+def _find_entry(archive: bytes, name: str) -> bytes:
     for entry in read_manifest(archive):
         if entry.name == name:
-            return sz_decompress(
-                archive[entry.offset : entry.offset + entry.length]
-            )
+            return _entry_blob(archive, entry)
     raise KeyError(f"no entry named {name!r}")
+
+
+def extract(archive: bytes, name: str) -> np.ndarray:
+    """Decompress a single entry, v1 or tiled v2 (no other entry is parsed)."""
+    from repro.chunked import decompress_any
+
+    return decompress_any(_find_entry(archive, name))
+
+
+def extract_region(archive: bytes, name: str, region) -> np.ndarray:
+    """Read a hyperslab of one tiled entry, touching only its tiles.
+
+    v1 entries have no tile index, so the whole entry is decoded first
+    and then sliced.
+    """
+    from repro.chunked import decompress_region, is_tiled
+
+    blob = _find_entry(archive, name)
+    if is_tiled(blob):
+        return decompress_region(blob, region)
+    return sz_decompress(blob)[region]
 
 
 def extract_all(
@@ -132,21 +176,18 @@ def extract_all(
 ) -> dict[str, np.ndarray]:
     """Decompress every entry, optionally with a process pool."""
     entries = read_manifest(archive)
-    blobs = [archive[e.offset : e.offset + e.length] for e in entries]
-    if n_workers > 1:
-        arrays = parallel_decompress(blobs, n_workers=n_workers)
-    else:
-        arrays = [sz_decompress(b) for b in blobs]
+    blobs = [_entry_blob(archive, e) for e in entries]
+    arrays = parallel_decompress(blobs, n_workers=n_workers)
     return {e.name: a for e, a in zip(entries, arrays)}
 
 
 def archive_info(archive: bytes) -> list[dict]:
     """Per-entry header info (shape, dtype, CF) without decompressing."""
+    from repro.chunked import container_info_any
+
     rows = []
     for entry in read_manifest(archive):
-        info = container_info(
-            archive[entry.offset : entry.offset + entry.length]
-        )
+        info = container_info_any(_entry_blob(archive, entry))
         n_values = int(np.prod(info["shape"])) if info["shape"] else 0
         itemsize = np.dtype(info["dtype"]).itemsize
         rows.append(
@@ -154,6 +195,8 @@ def archive_info(archive: bytes) -> list[dict]:
                 "name": entry.name,
                 "shape": info["shape"],
                 "dtype": info["dtype"],
+                "format": info.get("format", "v1"),
+                "n_tiles": info.get("n_tiles"),
                 "compressed_bytes": entry.length,
                 "cf": n_values * itemsize / max(1, entry.length),
             }

@@ -18,15 +18,44 @@ import numpy as np
 from repro.core import compress as sz_compress
 from repro.core import decompress as sz_decompress
 
-__all__ = ["parallel_compress", "parallel_decompress", "measure_pool_scaling", "chunk_array"]
+__all__ = [
+    "parallel_compress",
+    "parallel_decompress",
+    "measure_pool_scaling",
+    "chunk_array",
+    "pool_map",
+]
 
 
 def chunk_array(data: np.ndarray, n_chunks: int) -> list[np.ndarray]:
-    """Split along the first axis into near-equal independent chunks."""
+    """Split along the first axis into near-equal independent chunks.
+
+    The *effective* chunk count is ``min(n_chunks, data.shape[0])`` — an
+    axis cannot be split finer than one row per chunk — and equals
+    ``len()`` of the returned list; callers that size a worker pool from
+    the request must use that length, not ``n_chunks``.
+    """
     if n_chunks <= 0:
         raise ValueError("n_chunks must be positive")
+    data = np.asarray(data)
+    if data.ndim == 0:
+        raise ValueError("cannot chunk a 0-d (scalar) array: no axis to split")
     n_chunks = min(n_chunks, data.shape[0])
     return [np.ascontiguousarray(c) for c in np.array_split(data, n_chunks)]
+
+
+def pool_map(fn, items: list, n_workers: int | None = None) -> list:
+    """``map(fn, items)`` over a process pool, order preserved.
+
+    ``fn`` must be picklable (a module-level function).  With one worker
+    (or one item) the map runs in-process — results are identical either
+    way, so callers get deterministic output independent of worker count.
+    """
+    n_workers = n_workers or os.cpu_count() or 1
+    if n_workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, items))
 
 
 def _compress_worker(args) -> bytes:
@@ -35,7 +64,11 @@ def _compress_worker(args) -> bytes:
 
 
 def _decompress_worker(blob: bytes) -> np.ndarray:
-    return sz_decompress(blob)
+    # Lazy import: repro.chunked builds on this module, so the dispatch
+    # to tiled containers cannot be a top-level import.
+    from repro.chunked import decompress_any
+
+    return decompress_any(blob)
 
 
 def parallel_compress(
@@ -56,10 +89,10 @@ def parallel_compress(
 def parallel_decompress(
     blobs: list[bytes], n_workers: int | None = None
 ) -> list[np.ndarray]:
-    """Decompress independent containers across a process pool."""
+    """Decompress independent containers (v1 or tiled v2) across a pool."""
     n_workers = n_workers or os.cpu_count() or 1
     if n_workers == 1:
-        return [sz_decompress(b) for b in blobs]
+        return [_decompress_worker(b) for b in blobs]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(_decompress_worker, blobs))
 

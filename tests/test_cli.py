@@ -69,6 +69,79 @@ class TestCompressDecompress:
         assert np.abs(np.load(dst) - smooth2d).max() <= eb
 
 
+class TestTiledCli:
+    def test_tiled_roundtrip(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        dst = tmp_path / "r.npy"
+        np.save(src, smooth2d)
+        assert main([
+            "compress", str(src), str(comp),
+            "--rel", "1e-3", "--tile", "16,20", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiles" in out
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        restored = np.load(dst)
+        eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
+        assert np.abs(restored - smooth2d).max() <= eb
+
+    def test_region_extraction_tiled(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        full = tmp_path / "full.npy"
+        roi = tmp_path / "roi.npy"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--rel", "1e-3",
+              "--tile", "16"])
+        main(["decompress", str(comp), str(full)])
+        assert main([
+            "decompress", str(comp), str(roi), "--region", "5:14,60:",
+        ]) == 0
+        np.testing.assert_array_equal(
+            np.load(roi), np.load(full)[5:14, 60:]
+        )
+
+    def test_region_extraction_v1_fallback(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.sz"
+        roi = tmp_path / "roi.npy"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--rel", "1e-3"])
+        assert main([
+            "decompress", str(comp), str(roi), "--region", "5:14,60:",
+        ]) == 0
+        assert np.load(roi).shape == (9, 4)
+
+    def test_bad_tile_spec(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit, match="--tile"):
+            main(["compress", str(src), str(tmp_path / "o.szt"),
+                  "--rel", "1e-3", "--tile", "4x4"])
+
+    def test_bad_region_spec(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--rel", "1e-3",
+              "--tile", "16"])
+        with pytest.raises(SystemExit, match="region"):
+            main(["decompress", str(comp), str(tmp_path / "r.npy"),
+                  "--region", "a:b"])
+
+    def test_cubic_tile_single_int(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        np.save(src, smooth2d)
+        assert main(["compress", str(src), str(comp), "--rel", "1e-3",
+                     "--tile", "24"]) == 0
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "(24, 24)" in out
+
+
 class TestInfo:
     def test_info_prints_header(self, tmp_path, capsys, smooth2d):
         src = tmp_path / "f.npy"
@@ -80,9 +153,27 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "float32" in out and "interval_bits" in out
 
+    def test_info_tiled_container(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--rel", "1e-3",
+              "--tile", "16"])
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "tiled-v2" in out
+        assert "n_tiles" in out
+        assert "tile CF" in out and "tile hit rate" in out
+
 
 class TestAblation:
     def test_ablation_entropy(self, capsys):
         assert main(["ablation", "entropy", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "Huffman" in out and "arithmetic" in out
+
+    def test_ablation_tiles(self, capsys):
+        assert main(["ablation", "tiles", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "whole array (v1)" in out and "roi_read" in out

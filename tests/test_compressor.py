@@ -202,3 +202,39 @@ class TestFacade:
 
     def test_name(self):
         assert SZ14Compressor().name == "SZ-1.4"
+
+
+class TestPlanCache:
+    def test_lru_bounded(self):
+        """The wavefront-plan cache must stay bounded (and keep the most
+        recently used shapes) across many distinct tile shapes."""
+        from repro.core import compressor as comp
+
+        comp._PLAN_CACHE.clear()
+        for n in range(comp._PLAN_CACHE_MAX + 20):
+            comp._get_plan((4 + n, 3), 1)
+            assert len(comp._PLAN_CACHE) <= comp._PLAN_CACHE_MAX
+        # the most recent shape survived, the oldest was evicted
+        assert ((4 + comp._PLAN_CACHE_MAX + 19, 3), 1) in comp._PLAN_CACHE
+        assert ((4, 3), 1) not in comp._PLAN_CACHE
+
+    def test_lru_recency(self):
+        from repro.core import compressor as comp
+
+        comp._PLAN_CACHE.clear()
+        comp._get_plan((5, 5), 1)
+        for n in range(comp._PLAN_CACHE_MAX - 1):
+            comp._get_plan((100 + n, 2), 1)
+        comp._get_plan((5, 5), 1)  # refresh: now most-recent
+        comp._get_plan((999, 2), 1)  # evicts the LRU, not (5, 5)
+        assert ((5, 5), 1) in comp._PLAN_CACHE
+        comp._PLAN_CACHE.clear()
+
+    def test_cached_plan_reused(self):
+        from repro.core import compressor as comp
+
+        comp._PLAN_CACHE.clear()
+        a = comp._get_plan((7, 9), 1)
+        b = comp._get_plan((7, 9), 1)
+        assert a is b
+        comp._PLAN_CACHE.clear()

@@ -87,6 +87,42 @@ class TestArchive:
         with pytest.raises(ValueError):
             read_manifest(archive[: len(archive) - 50])
 
+    def test_tiled_entries(self, bundle):
+        archive = create_archive(
+            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+        )
+        rows = archive_info(archive)
+        assert all(row["format"] == "tiled-v2" for row in rows)
+        assert all(row["n_tiles"] == 12 for row in rows)
+        out = extract_all(archive)
+        for name, arr in bundle.items():
+            rng_ = float(arr.max() - arr.min())
+            err = np.abs(
+                out[name].astype(np.float64) - arr.astype(np.float64)
+            ).max()
+            assert err <= 1e-3 * rng_
+
+    def test_tiled_entry_region(self, bundle):
+        from repro.parallel.files import extract_region
+
+        archive = create_archive(
+            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+        )
+        whole = extract(archive, "temp")
+        roi = extract_region(archive, "temp", (slice(4, 12), slice(20, 30)))
+        assert np.array_equal(roi, whole[4:12, 20:30])
+        # v1 entries fall back to decode-then-slice
+        flat = create_archive(arrays=bundle, rel_bound=1e-3)
+        roi_v1 = extract_region(flat, "temp", (slice(4, 12), slice(20, 30)))
+        assert roi_v1.shape == (8, 10)
+
+    def test_tiled_parallel_extract(self, bundle):
+        archive = create_archive(
+            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+        )
+        out = extract_all(archive, n_workers=2)
+        assert set(out) == set(bundle)
+
 
 class TestQualityReport:
     def test_full_report(self, smooth2d):

@@ -115,3 +115,31 @@ class TestRates:
             bit_rate(10, 0)
         with pytest.raises(ValueError):
             throughput_mb_s(10, 0)
+
+
+class TestTileRatioStats:
+    def test_dispersion(self):
+        from repro.metrics import tile_ratio_stats
+
+        stats = tile_ratio_stats([100, 200, 400], [100, 100, 100], 4)
+        assert stats["n_tiles"] == 3
+        assert stats["cf_min"] == 1.0 and stats["cf_max"] == 4.0
+        assert stats["cf_mean"] == pytest.approx((4 + 2 + 1) / 3)
+        assert stats["cf_var"] == pytest.approx(np.var([4.0, 2.0, 1.0]))
+        assert stats["cf_cv"] == pytest.approx(
+            stats["cf_std"] / stats["cf_mean"]
+        )
+
+    def test_uniform_tiles_zero_variance(self):
+        from repro.metrics import tile_ratio_stats
+
+        stats = tile_ratio_stats([128] * 5, [64] * 5, 8)
+        assert stats["cf_var"] == 0.0 and stats["cf_mean"] == 4.0
+
+    def test_validation(self):
+        from repro.metrics import tile_ratio_stats
+
+        with pytest.raises(ValueError):
+            tile_ratio_stats([], [], 4)
+        with pytest.raises(ValueError):
+            tile_ratio_stats([1, 2], [1], 4)

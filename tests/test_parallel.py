@@ -15,6 +15,10 @@ from repro.parallel import (
 from repro.parallel.pool import chunk_array
 
 
+def _square(x: int) -> int:
+    return x * x
+
+
 class TestChunking:
     def test_chunks_cover_array(self, smooth2d):
         chunks = chunk_array(smooth2d, 4)
@@ -28,6 +32,31 @@ class TestChunking:
     def test_bad_count(self):
         with pytest.raises(ValueError):
             chunk_array(np.zeros((4, 4), dtype=np.float32), 0)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError, match="0-d"):
+            chunk_array(np.float32(1.0), 2)
+
+    def test_effective_count_is_len(self):
+        """len() of the result is the documented effective chunk count."""
+        data = np.zeros((5, 3), dtype=np.float32)
+        assert len(chunk_array(data, 8)) == 5
+        assert len(chunk_array(data, 4)) == 4
+
+
+class TestPoolMap:
+    def test_order_preserved(self):
+        from repro.parallel.pool import pool_map
+
+        items = list(range(7))
+        assert pool_map(_square, items, n_workers=1) == [i * i for i in items]
+        assert pool_map(_square, items, n_workers=3) == [i * i for i in items]
+
+    def test_empty_and_single(self):
+        from repro.parallel.pool import pool_map
+
+        assert pool_map(_square, [], n_workers=4) == []
+        assert pool_map(_square, [3], n_workers=4) == [9]
 
 
 class TestPool:
