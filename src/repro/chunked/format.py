@@ -8,18 +8,28 @@ verified without touching the rest of the file.
 Byte layout (all integers big-endian)::
 
     header:
-        magic 'SZRT' (4) | version=2 (1) | dtype code (1) | ndim (1) |
+        magic 'SZRT' (4) | version=2|3 (1) | dtype code (1) | ndim (1) |
         flags (1) | shape: ndim x 8 | tile_shape: ndim x 8 |
         abs_bound: raw float64 bits (8) | rel_bound: raw float64 bits (8)
+        [version 3: mode code (1) | mode param: raw float64 bits (8)]
     tile payloads, concatenated in C order of the tile grid
-        (each payload is a complete v1 'SZRP' container)
-    index: n_tiles x 42-byte entries:
+        (each payload is a complete v1/v2 'SZRP' container)
+    index: n_tiles x 42-byte (v2) or 43-byte (v3) entries:
         offset (8) | length (6) | crc32 (4) |
         n_values (6) | n_unpredictable (6) |
-        mode_count (6) | nonzero_bins (6)
+        mode_count (6) | nonzero_bins (6) |
+        [version 3: mode code (1)]
     tail (24 bytes):
         index offset (8) | index length (8) | index crc32 (4) |
         end magic 'SZRX' (4)
+
+    Versioning mirrors the per-tile container: ``abs``/``rel`` containers
+    keep the version-2 layout (byte-identical to every tiled blob this
+    library ever produced, decoded with mode ``abs``/``rel`` from the
+    bound fields); the ``pw_rel``/``psnr`` modes write version 3, whose
+    mode byte rides in both the header and each footer-index entry so
+    ``decompress_region`` knows how to reconstruct a tile before reading
+    its payload.
 
 The header is written before any tile, the index after the last one, so
 the format supports single-pass streaming writes; readers locate the
@@ -44,10 +54,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bounds import CODE_MODES as _CODE_MODES
+from repro.core.bounds import MODE_CODES
+from repro.core.bounds import MODED_MODES as _MODED
+
 __all__ = [
     "MAGIC",
     "END_MAGIC",
     "VERSION",
+    "MODED_VERSION",
+    "MODE_CODES",
     "TiledHeader",
     "TileEntry",
     "TileGrid",
@@ -60,17 +76,26 @@ __all__ = [
     "parse_tail",
     "TAIL_BYTES",
     "ENTRY_BYTES",
+    "MODED_ENTRY_BYTES",
+    "entry_bytes",
 ]
 
 MAGIC = b"SZRT"
 END_MAGIC = b"SZRX"
 VERSION = 2
+MODED_VERSION = 3  # version 2 + mode byte in the header and index entries
 
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
 
 ENTRY_BYTES = 42
+MODED_ENTRY_BYTES = 43
 TAIL_BYTES = 24
+
+
+def entry_bytes(version: int) -> int:
+    """Footer-index entry size for a container ``version``."""
+    return MODED_ENTRY_BYTES if version == MODED_VERSION else ENTRY_BYTES
 
 
 def _f64_raw(x: float | None) -> bytes:
@@ -84,7 +109,7 @@ def _raw_f64(b: bytes) -> float | None:
 
 @dataclass(frozen=True)
 class TiledHeader:
-    """Fixed-size leading header of a v2 container."""
+    """Fixed-size leading header of a tiled (v2/v3) container."""
 
     dtype: np.dtype
     shape: tuple[int, ...]
@@ -92,10 +117,21 @@ class TiledHeader:
     abs_bound: float | None
     rel_bound: float | None
     flags: int = 0
+    mode: str = "abs"
+    mode_param: float = 0.0
+
+    @property
+    def is_moded(self) -> bool:
+        """True when the container needs the mode-tagged v3 layout."""
+        return self.mode in _MODED
+
+    @property
+    def version(self) -> int:
+        return MODED_VERSION if self.is_moded else VERSION
 
     @property
     def header_bytes(self) -> int:
-        return 8 + 16 * len(self.shape) + 16
+        return 8 + 16 * len(self.shape) + 16 + (9 if self.is_moded else 0)
 
     @property
     def n_values(self) -> int:
@@ -104,7 +140,12 @@ class TiledHeader:
 
 @dataclass(frozen=True)
 class TileEntry:
-    """One footer-index row: where a tile lives and what is inside it."""
+    """One footer-index row: where a tile lives and what is inside it.
+
+    ``mode_code`` (v3 only; 0 on legacy v2 entries) names the error-bound
+    mode the tile was compressed with, so region readers know how a tile
+    reconstructs before touching its payload.
+    """
 
     offset: int
     length: int
@@ -113,6 +154,11 @@ class TileEntry:
     n_unpredictable: int
     mode_count: int
     nonzero_bins: int
+    mode_code: int = 0
+
+    @property
+    def mode(self) -> str:
+        return _CODE_MODES.get(self.mode_code, "abs")
 
     @property
     def hit_rate(self) -> float:
@@ -133,7 +179,7 @@ def write_header(header: TiledHeader) -> bytes:
         raise ValueError("shape and tile_shape must have the same rank")
     out = bytearray()
     out += MAGIC
-    out.append(VERSION)
+    out.append(header.version)
     out.append(_DTYPE_CODES[np.dtype(header.dtype)])
     out.append(len(header.shape))
     out.append(header.flags)
@@ -143,6 +189,9 @@ def write_header(header: TiledHeader) -> bytes:
         out += int(t).to_bytes(8, "big")
     out += _f64_raw(header.abs_bound)
     out += _f64_raw(header.rel_bound)
+    if header.is_moded:
+        out.append(MODE_CODES[header.mode])
+        out += np.float64(header.mode_param).tobytes()
     return bytes(out)
 
 
@@ -152,8 +201,9 @@ def read_header(buf: bytes) -> TiledHeader:
         raise ValueError("truncated tiled container: short header")
     if buf[:4] != MAGIC:
         raise ValueError("not a tiled (SZRT) container: bad magic")
-    if buf[4] != VERSION:
-        raise ValueError(f"unsupported tiled container version {buf[4]}")
+    version = buf[4]
+    if version not in (VERSION, MODED_VERSION):
+        raise ValueError(f"unsupported tiled container version {version}")
     try:
         dtype = _CODE_DTYPES[buf[5]]
     except KeyError:
@@ -162,7 +212,7 @@ def read_header(buf: bytes) -> TiledHeader:
     if ndim < 1:
         raise ValueError("tiled container must have ndim >= 1")
     flags = buf[7]
-    need = 8 + 16 * ndim + 16
+    need = 8 + 16 * ndim + 16 + (9 if version == MODED_VERSION else 0)
     if len(buf) < need:
         raise ValueError("truncated tiled container: short header")
     pos = 8
@@ -176,17 +226,32 @@ def read_header(buf: bytes) -> TiledHeader:
         pos += 8
     abs_bound = _raw_f64(buf[pos : pos + 8])
     rel_bound = _raw_f64(buf[pos + 8 : pos + 16])
+    pos += 16
+    mode, mode_param = "abs", 0.0
+    if version == MODED_VERSION:
+        if buf[pos] not in _CODE_MODES:
+            raise ValueError(
+                f"corrupt tiled container: unknown mode code {buf[pos]}"
+            )
+        mode = _CODE_MODES[buf[pos]]
+        mode_param = float(
+            np.frombuffer(buf[pos + 1 : pos + 9], dtype=np.float64)[0]
+        )
+    elif rel_bound is not None:
+        mode = "rel"  # legacy v2: the bound fields name the mode
     if any(s < 1 for s in shape) or any(t < 1 for t in tile_shape):
         raise ValueError("corrupt tiled container: non-positive extent")
     if any(t > s for t, s in zip(tile_shape, shape)):
         raise ValueError("corrupt tiled container: tile larger than array")
     return TiledHeader(
-        dtype, tuple(shape), tuple(tile_shape), abs_bound, rel_bound, flags
+        dtype, tuple(shape), tuple(tile_shape), abs_bound, rel_bound, flags,
+        mode, mode_param,
     )
 
 
-def build_index(entries: list[TileEntry]) -> bytes:
+def build_index(entries: list[TileEntry], version: int = VERSION) -> bytes:
     out = bytearray()
+    moded = version == MODED_VERSION
     for e in entries:
         out += e.offset.to_bytes(8, "big")
         out += e.length.to_bytes(6, "big")
@@ -195,18 +260,24 @@ def build_index(entries: list[TileEntry]) -> bytes:
         out += e.n_unpredictable.to_bytes(6, "big")
         out += e.mode_count.to_bytes(6, "big")
         out += e.nonzero_bins.to_bytes(6, "big")
+        if moded:
+            out.append(e.mode_code)
     return bytes(out)
 
 
-def parse_index(buf: bytes, n_tiles: int) -> list[TileEntry]:
-    if len(buf) != n_tiles * ENTRY_BYTES:
+def parse_index(
+    buf: bytes, n_tiles: int, version: int = VERSION
+) -> list[TileEntry]:
+    nbytes = entry_bytes(version)
+    if len(buf) != n_tiles * nbytes:
         raise ValueError(
             f"corrupt tiled container: index holds {len(buf)} bytes for "
-            f"{n_tiles} tiles ({n_tiles * ENTRY_BYTES} expected)"
+            f"{n_tiles} tiles ({n_tiles * nbytes} expected)"
         )
+    moded = version == MODED_VERSION
     entries = []
     for i in range(n_tiles):
-        p = i * ENTRY_BYTES
+        p = i * nbytes
         entries.append(
             TileEntry(
                 offset=int.from_bytes(buf[p : p + 8], "big"),
@@ -216,6 +287,7 @@ def parse_index(buf: bytes, n_tiles: int) -> list[TileEntry]:
                 n_unpredictable=int.from_bytes(buf[p + 24 : p + 30], "big"),
                 mode_count=int.from_bytes(buf[p + 30 : p + 36], "big"),
                 nonzero_bins=int.from_bytes(buf[p + 36 : p + 42], "big"),
+                mode_code=buf[p + 42] if moded else 0,
             )
         )
     return entries

@@ -12,7 +12,12 @@ value range.  A tile's range never exceeds the whole array's, so every
 element still satisfies the requested array-level value-range-relative
 bound (usually with margin); absolute bounds are identical either way.
 This is what lets the writer stream — it never needs a global pass to
-learn the full value range before emitting the first tile.
+learn the full value range before emitting the first tile.  The same
+argument covers the mode subsystem: ``pw_rel`` is pointwise, so
+per-tile application is exact, and a per-tile ``psnr`` target implies
+the array-level one (each tile's rmse is at most ``R_tile 10^(-t/20)
+<= R_array 10^(-t/20)``, and the array rmse is a weighted mean of tile
+rmses).
 """
 
 from __future__ import annotations
@@ -23,8 +28,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.chunked.format import (
-    ENTRY_BYTES,
     MAGIC,
+    MODE_CODES,
+    MODED_VERSION,
     TAIL_BYTES,
     VERSION,
     TiledHeader,
@@ -32,6 +38,7 @@ from repro.chunked.format import (
     TileGrid,
     build_index,
     build_tail,
+    entry_bytes,
     parse_index,
     parse_tail,
     read_header,
@@ -73,6 +80,11 @@ class TiledWriter:
         near-isotropic tile of ~64k values (:func:`default_tile_shape`).
     abs_bound, rel_bound
         Error bounds, applied per tile (see module docstring).
+    mode, bound
+        Explicit error-bound mode and parameter (``abs``, ``rel``,
+        ``pw_rel``, ``psnr``), mutually exclusive with the legacy
+        ``abs_bound``/``rel_bound`` pair; ``pw_rel``/``psnr`` write the
+        mode-tagged v3 container.
     workers
         Process-pool width for compressing the tiles of one batch.
     **compress_kwargs
@@ -93,25 +105,40 @@ class TiledWriter:
         abs_bound: float | None = None,
         rel_bound: float | None = None,
         workers: int = 1,
+        mode: str | None = None,
+        bound: float | None = None,
         **compress_kwargs,
     ) -> None:
-        if abs_bound is None and rel_bound is None:
-            raise ValueError("provide abs_bound and/or rel_bound")
+        # Normalize the bound request up front (same surface as
+        # repro.core.compress) so a bad mode fails before the destination
+        # is opened and truncated.
+        from repro.core.bounds import ErrorBound
+
+        spec = ErrorBound.from_args(mode, bound, abs_bound, rel_bound)
         dtype = np.dtype(dtype)
         if dtype not in (np.float32, np.float64):
-            # Fail before opening (and truncating) the destination.
             raise TypeError(f"only float32/float64 supported, got {dtype}")
         shape = tuple(int(s) for s in shape)
         if tile_shape is None:
             tile_shape = default_tile_shape(shape)
         self.grid = TileGrid(shape, tile_shape)
         self.header = TiledHeader(
-            np.dtype(dtype), shape, self.grid.tile_shape, abs_bound, rel_bound
+            np.dtype(dtype), shape, self.grid.tile_shape,
+            spec.abs_bound, spec.rel_bound,
+            mode=spec.mode, mode_param=spec.param if spec.mode in
+            ("pw_rel", "psnr") else 0.0,
         )
         self.workers = max(1, int(workers))
-        self._kwargs = dict(
-            abs_bound=abs_bound, rel_bound=rel_bound, **compress_kwargs
-        )
+        if spec.mode in ("pw_rel", "psnr"):
+            self._kwargs = dict(
+                mode=spec.mode, bound=spec.param, **compress_kwargs
+            )
+        else:
+            self._kwargs = dict(
+                abs_bound=spec.abs_bound, rel_bound=spec.rel_bound,
+                **compress_kwargs,
+            )
+        self._mode_code = MODE_CODES[spec.mode]
         if isinstance(dest, (str, Path)):
             self._fh = open(dest, "wb")
             self._owns_fh = True
@@ -178,6 +205,7 @@ class TiledWriter:
                     n_unpredictable=n_unpred,
                     mode_count=mode_count,
                     nonzero_bins=nonzero,
+                    mode_code=self._mode_code,
                 )
             )
             self._fh.write(blob)
@@ -230,7 +258,7 @@ class TiledWriter:
                 f"container incomplete: {self._next_tile} of "
                 f"{self.n_tiles} tiles written"
             )
-        index = build_index(self._entries)
+        index = build_index(self._entries, self.header.version)
         self._fh.write(index)
         self._fh.write(
             build_tail(self._offset, len(index), zlib.crc32(index) & 0xFFFFFFFF)
@@ -279,8 +307,9 @@ class TiledReader:
             if self._src.size < 8 + TAIL_BYTES:
                 raise ValueError("truncated tiled container: too short")
             head = self._src.read_at(0, 8)
-            ndim = read_header_prefix(head)
-            head = head + self._src.read_at(8, 16 * ndim + 16)
+            version, ndim = read_header_prefix(head)
+            rest = 16 * ndim + 16 + (9 if version == MODED_VERSION else 0)
+            head = head + self._src.read_at(8, rest)
             self.header = read_header(head)
             self.grid = TileGrid(self.header.shape, self.header.tile_shape)
             tail = self._src.read_at(self._src.size - TAIL_BYTES, TAIL_BYTES)
@@ -291,7 +320,7 @@ class TiledReader:
                 )
             index = self._src.read_at(index_offset, index_length)
             verify_index(index, index_crc)
-            self.entries = parse_index(index, self.grid.n_tiles)
+            self.entries = parse_index(index, self.grid.n_tiles, version)
             for i, e in enumerate(self.entries):
                 if e.offset + e.length > index_offset:
                     raise ValueError(
@@ -414,18 +443,22 @@ class TiledReader:
         ]
         total_comp = self._src.size
         return {
-            "format": "tiled-v2",
+            "format": f"tiled-v{self.header.version}",
             "shape": self.shape,
             "tile_shape": self.tile_shape,
             "tile_grid": self.grid.grid,
             "n_tiles": self.n_tiles,
             "dtype": str(self.dtype),
+            "mode": self.header.mode,
+            "mode_param": self.header.mode_param,
             "abs_bound": self.header.abs_bound,
             "rel_bound": self.header.rel_bound,
             "n_unpredictable": sum(e.n_unpredictable for e in self.entries),
             "compressed_bytes": total_comp,
             "payload_bytes": sum(compressed),
-            "index_bytes": self.n_tiles * ENTRY_BYTES + TAIL_BYTES,
+            "index_bytes": (
+                self.n_tiles * entry_bytes(self.header.version) + TAIL_BYTES
+            ),
             "compression_factor": (
                 self.header.n_values * itemsize / max(1, total_comp)
             ),
@@ -445,13 +478,14 @@ class TiledReader:
         self.close()
 
 
-def read_header_prefix(head8: bytes) -> int:
-    """Validate the 8-byte header prefix and return ``ndim``."""
+def read_header_prefix(head8: bytes) -> tuple[int, int]:
+    """Validate the 8-byte header prefix; return ``(version, ndim)``."""
     if head8[:4] != MAGIC:
         raise ValueError("not a tiled (SZRT) container: bad magic")
-    if head8[4] != VERSION:
-        raise ValueError(f"unsupported tiled container version {head8[4]}")
+    version = head8[4]
+    if version not in (VERSION, MODED_VERSION):
+        raise ValueError(f"unsupported tiled container version {version}")
     ndim = head8[6]
     if ndim < 1:
         raise ValueError("tiled container must have ndim >= 1")
-    return ndim
+    return version, ndim

@@ -61,17 +61,22 @@ def compress_tiled(
     out=None,
     abs_bound: float | None = None,
     rel_bound: float | None = None,
+    mode: str | None = None,
+    bound: float | None = None,
     **compress_kwargs,
 ) -> bytes | None:
-    """Compress ``data`` into a tiled (v2) container.
+    """Compress ``data`` into a tiled (v2/v3) container.
 
     ``tile_shape`` may be a per-axis tuple, a single int (cubic tiles),
     or ``None`` for a ~64k-value near-isotropic default; tiles need not
     divide the array evenly.  ``workers > 1`` fans tile compression out
     over a process pool — the resulting container is byte-identical to
-    the serial one.  With ``out`` (a path or binary file handle) the
-    container is written there and ``None`` is returned; otherwise the
-    bytes are returned.
+    the serial one.  ``mode``/``bound`` select an error-bound mode
+    (``abs``, ``rel``, ``pw_rel``, ``psnr``; see
+    :mod:`repro.core.bounds`), applied per tile — each tile's pointwise
+    or PSNR guarantee implies the array-level one.  With ``out`` (a path
+    or binary file handle) the container is written there and ``None``
+    is returned; otherwise the bytes are returned.
     """
     data = np.asarray(data)
     if data.ndim < 1:
@@ -85,6 +90,8 @@ def compress_tiled(
         dtype=data.dtype,
         abs_bound=abs_bound,
         rel_bound=rel_bound,
+        mode=mode,
+        bound=bound,
         workers=workers,
         **compress_kwargs,
     )
@@ -102,12 +109,15 @@ def compress_file_tiled(
     workers: int = 1,
     abs_bound: float | None = None,
     rel_bound: float | None = None,
+    mode: str | None = None,
+    bound: float | None = None,
     **compress_kwargs,
 ) -> dict:
     """Compress an ``.npy`` file slab by slab via a memory map.
 
     Only one leading-axis tile-row is resident at a time, so the source
-    may exceed RAM.  Returns a small summary dict.
+    may exceed RAM.  ``mode``/``bound`` select an error-bound mode as in
+    :func:`compress_tiled`.  Returns a small summary dict.
     """
     data = np.load(npy_path, mmap_mode="r")
     tile_shape = _normalize_tile_shape(data.shape, tile_shape)
@@ -118,6 +128,8 @@ def compress_file_tiled(
         dtype=data.dtype,
         abs_bound=abs_bound,
         rel_bound=rel_bound,
+        mode=mode,
+        bound=bound,
         workers=workers,
         **compress_kwargs,
     )
@@ -194,7 +206,11 @@ def container_info_any(src) -> dict:
     elif not isinstance(src, (bytes, bytearray, memoryview)):
         src = src.read()
     info = v1_container_info(bytes(src))
-    info["format"] = "v1"
+    # Untagged blobs are the original v1 layout; pw_rel/psnr blobs carry
+    # the mode-tagged (version 2) header of the same container family.
+    info["format"] = (
+        "v1-moded" if info.get("mode") in ("pw_rel", "psnr") else "v1"
+    )
     return info
 
 

@@ -6,10 +6,16 @@ Subcommands
     Show registered experiments.
 ``run EXPERIMENT [--scale tiny|small|paper]``
     Run one experiment (or ``all``) and print its table.
-``compress IN.npy OUT.sz [--rel 1e-4 | --abs EB] [--layers N] [--bits M]
+``compress IN.npy OUT.sz [--mode abs|rel|pw_rel|psnr --bound X]
+[--rel 1e-4 | --abs EB] [--layers N] [--bits M]
 [--tile T0,T1,... --workers N]``
-    Compress a NumPy array file; ``--tile`` writes a block-indexed tiled
-    (v2) container, streamed slab-by-slab so the input may exceed RAM.
+    Compress a NumPy array file.  ``--mode``/``--bound`` select an
+    error-bound mode: ``abs`` (absolute), ``rel`` (value-range
+    relative), ``pw_rel`` (pointwise relative, ``|e_i| <= bound |x_i|``)
+    or ``psnr`` (target PSNR in dB); ``--rel``/``--abs`` remain the
+    legacy spellings of the first two.  ``--tile`` writes a
+    block-indexed tiled container, streamed slab-by-slab so the input
+    may exceed RAM.
 ``decompress IN.sz OUT.npy [--region 0:10,5:20]``
     Decompress a container back to ``.npy``; ``--region`` extracts a
     hyperslab (reading only the intersecting tiles of a v2 container).
@@ -91,6 +97,14 @@ def _parse_region(spec: str) -> tuple:
 
 
 def _cmd_compress(args) -> int:
+    if args.mode is not None and args.bound is None:
+        raise SystemExit(f"--mode {args.mode} requires --bound")
+    if args.bound is not None and args.mode is None:
+        raise SystemExit("--bound requires --mode")
+    if args.mode is not None and (
+        args.abs_bound is not None or args.rel_bound is not None
+    ):
+        raise SystemExit("--mode/--bound and --abs/--rel are mutually exclusive")
     if args.tile is not None:
         from repro.chunked import compress_file_tiled
 
@@ -102,6 +116,8 @@ def _cmd_compress(args) -> int:
             workers=args.workers,
             abs_bound=args.abs_bound,
             rel_bound=args.rel_bound,
+            mode=args.mode,
+            bound=args.bound,
             layers=args.layers,
             interval_bits=args.bits,
             adaptive=args.adaptive,
@@ -118,6 +134,8 @@ def _cmd_compress(args) -> int:
         data,
         abs_bound=args.abs_bound,
         rel_bound=args.rel_bound,
+        mode=args.mode,
+        bound=args.bound,
         layers=args.layers,
         interval_bits=args.bits,
         adaptive=args.adaptive,
@@ -126,8 +144,8 @@ def _cmd_compress(args) -> int:
         fh.write(blob)
     print(
         f"{args.input}: {stats.original_bytes} -> {stats.compressed_bytes} bytes "
-        f"(CF {stats.compression_factor:.2f}, {stats.bit_rate:.2f} bits/value, "
-        f"hit rate {stats.hit_rate:.1%})"
+        f"(mode {stats.mode}, CF {stats.compression_factor:.2f}, "
+        f"{stats.bit_rate:.2f} bits/value, hit rate {stats.hit_rate:.1%})"
     )
     return 0
 
@@ -219,6 +237,15 @@ def main(argv: list[str] | None = None) -> int:
     p_c.add_argument("output")
     p_c.add_argument("--rel", dest="rel_bound", type=float, default=None)
     p_c.add_argument("--abs", dest="abs_bound", type=float, default=None)
+    p_c.add_argument(
+        "--mode", default=None, choices=["abs", "rel", "pw_rel", "psnr"],
+        help="error-bound mode; pw_rel bounds |e_i| <= bound*|x_i|, "
+             "psnr targets a PSNR in dB (requires --bound)",
+    )
+    p_c.add_argument(
+        "--bound", type=float, default=None,
+        help="mode parameter for --mode",
+    )
     p_c.add_argument("--layers", type=int, default=1)
     p_c.add_argument("--bits", type=int, default=8)
     p_c.add_argument("--adaptive", action="store_true")
@@ -256,7 +283,13 @@ def main(argv: list[str] | None = None) -> int:
     p_a.set_defaults(func=_cmd_ablation)
 
     args = parser.parse_args(argv)
-    if args.command == "compress" and args.rel_bound is None and args.abs_bound is None:
+    if (
+        args.command == "compress"
+        and args.rel_bound is None
+        and args.abs_bound is None
+        and args.mode is None
+        and args.bound is None
+    ):
         args.rel_bound = 1e-4
     return args.func(args)
 

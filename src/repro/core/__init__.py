@@ -5,6 +5,7 @@ error-controlled quantization and variable-length encoding (AEQVE,
 Section IV), and the container format tying them together.
 """
 
+from repro.core.bounds import MODES, ErrorBound
 from repro.core.compressor import (
     CompressionStats,
     SZ14Compressor,
@@ -17,6 +18,8 @@ from repro.core.predictor import prediction_stencil, predict_from_original
 
 __all__ = [
     "CompressionStats",
+    "ErrorBound",
+    "MODES",
     "SZ14Compressor",
     "compress",
     "compress_with_stats",

@@ -1,11 +1,16 @@
 """SZ-1.4 public compression API (paper Algorithm 1, Fig. 5).
 
-Pipeline: multilayer prediction (Section III) → error-controlled
-quantization (Section IV-A) → canonical Huffman variable-length encoding
-(Section IV-A) → container.  Unpredictable values are stored via
-binary-representation analysis.  Both absolute and value-range-based
-relative error bounds are supported; when both are given the tighter one
-wins (``|e_abs| < eb_abs`` **and** ``|e_rel| < eb_rel``).
+Pipeline: error-bound resolution (``repro.core.bounds``) → multilayer
+prediction (Section III) → error-controlled quantization (Section IV-A)
+→ canonical Huffman variable-length encoding (Section IV-A) →
+container.  Unpredictable values are stored via binary-representation
+analysis.
+
+Four error-bound modes are supported (see :mod:`repro.core.bounds`):
+``abs`` (``|e_i| <= b``), ``rel`` (``|e_i| <= b * range``, and with the
+legacy ``abs_bound``/``rel_bound`` pair the tighter bound wins),
+``pw_rel`` (``|e_i| <= b * |x_i|`` via logarithmic preconditioning) and
+``psnr`` (decompressed PSNR ``>= b`` dB, verified post-hoc).
 
 >>> import numpy as np
 >>> from repro.core import compress, decompress
@@ -13,6 +18,10 @@ wins (``|e_abs| < eb_abs`` **and** ``|e_rel| < eb_rel``).
 >>> blob = compress(data, rel_bound=1e-4)
 >>> out = decompress(blob)
 >>> bool(np.max(np.abs(out - data)) <= 1e-4 * (data.max() - data.min()))
+True
+>>> pw = decompress(compress(data, mode="pw_rel", bound=1e-3))
+>>> nz = data != 0
+>>> bool(np.max(np.abs((pw[nz] - data[nz]) / data[nz])) <= 1e-3)
 True
 """
 
@@ -25,6 +34,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.adaptive import DEFAULT_THETA
+from repro.core.bounds import (
+    ErrorBound,
+    psnr_fallback_bound,
+    psnr_to_abs_bound,
+    pw_apply_repairs,
+    pw_encode_side,
+    pw_log_bound,
+    pw_postcondition,
+    pw_precondition,
+)
 from repro.core.lossless_post import unwrap, wrap
 from repro.core.quantizer import interval_radius, num_intervals
 from repro.core.stream import (
@@ -75,6 +94,11 @@ class CompressionStats:
     code_histogram: np.ndarray = field(repr=False, default=None)
     adaptive_attempts: int = 1
     itemsize: int = 4
+    mode: str = "abs"
+    mode_param: float = 0.0
+    mode_attempts: int = 1
+    """Bound-resolution retries: >1 when the psnr noise model missed and
+    the verified fallback bound was used, or when pw_rel repaired values."""
 
     @property
     def n_values(self) -> int:
@@ -90,28 +114,27 @@ class CompressionStats:
         return 8.0 * self.compressed_bytes / max(1, self.n_values)
 
 
-def _resolve_bound(
-    data: np.ndarray, abs_bound: float | None, rel_bound: float | None
-) -> tuple[float, float]:
-    """Effective absolute bound and value range from the user's bounds."""
+def _value_range(data: np.ndarray) -> float:
+    """Finite value range ``max - min`` (0.0 when nothing is finite)."""
     finite = data[np.isfinite(data)]
-    if finite.size:
-        value_range = float(finite.max() - finite.min())
-    else:
-        value_range = 0.0
-    candidates = []
-    if abs_bound is not None:
-        if abs_bound <= 0:
-            raise ValueError("abs_bound must be positive")
-        candidates.append(float(abs_bound))
-    if rel_bound is not None:
-        if rel_bound <= 0:
-            raise ValueError("rel_bound must be positive")
-        candidates.append(float(rel_bound) * value_range)
-    if not candidates:
-        raise ValueError("provide abs_bound and/or rel_bound")
-    eb = min(candidates)
-    return eb, value_range
+    return float(finite.max() - finite.min()) if finite.size else 0.0
+
+
+_BIT_UINTS = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
+
+
+def _constant_ok(data: np.ndarray, mode: str) -> bool:
+    """May a zero-range field take the single-value constant shortcut?
+
+    ``pw_rel`` promises bit-exact zeros (``+0.0`` vs ``-0.0`` included),
+    so it only shortcuts when every element shares one bit pattern —
+    a mixed ``[0.0, -0.0]`` field must flow through the sign plane.
+    The other modes compare numerically, where ``0.0 == -0.0``.
+    """
+    if mode != "pw_rel":
+        return True
+    bits = np.ascontiguousarray(data).view(_BIT_UINTS[np.dtype(data.dtype)])
+    return bool((bits == bits.flat[0]).all())
 
 
 def _get_plan(shape: tuple[int, ...], layers: int) -> WavefrontPlan:
@@ -127,6 +150,93 @@ def _get_plan(shape: tuple[int, ...], layers: int) -> WavefrontPlan:
     return plan
 
 
+def _quantize_adaptive(
+    data: np.ndarray,
+    eb: float,
+    layers: int,
+    interval_bits: int,
+    adaptive: bool,
+    theta: float,
+):
+    """Wavefront quantization with the adaptive interval-count retry."""
+    plan = _get_plan(data.shape, layers)
+    attempts = 0
+    m = interval_bits
+    while True:
+        attempts += 1
+        radius = interval_radius(m)
+        result = wavefront_compress(data, eb, plan, radius)
+        if not adaptive or result.hit_rate >= theta or m >= _MAX_INTERVAL_BITS:
+            break
+        m = min(_MAX_INTERVAL_BITS, m + 2)
+    return result, m, attempts
+
+
+def _emit_container(
+    result,
+    m: int,
+    eb: float,
+    header_dtype: np.dtype,
+    shape: tuple[int, ...],
+    value_range: float,
+    layers: int,
+    block_size: int,
+    entropy_coder: str,
+    mode: str = "abs",
+    mode_param: float = 0.0,
+    side_payload: bytes = b"",
+) -> bytes:
+    """Entropy-code a wavefront result and wrap it in a container.
+
+    ``header_dtype`` is the *user-facing* dtype: for ``pw_rel`` the body
+    encodes the float64 log field while the header advertises the
+    original dtype (the mode tag tells the decoder the inner domain).
+    """
+    alphabet = 2 * interval_radius(m)  # codes 0 .. 2^m - 1
+    unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
+    if entropy_coder == "arithmetic":
+        from repro.encoding.arithmetic import encode_symbols
+        from repro.encoding.rice import zigzag
+
+        header = Header(
+            header_dtype, shape, m, layers, eb, value_range,
+            result.unpredictable.size, flags=FLAG_ARITHMETIC,
+            mode=mode, mode_param=mode_param, side_payload=side_payload,
+        )
+        # Re-center so the dominant code (the interval center) maps to the
+        # cheapest symbol: 0 = unpredictable, 1 = exact hit, then outward.
+        radius = interval_radius(m)
+        mapped = np.where(
+            result.codes == 0,
+            0,
+            zigzag(result.codes - radius).astype(np.int64) + 1,
+        )
+        arith = encode_symbols(mapped, max_bits=m + 2)
+        return write_container(header, None, None, unpred_payload,
+                               arith_payload=arith)
+    codec = HuffmanCodec.from_symbols(result.codes, alphabet)
+    stream = codec.encode(result.codes, block_size=block_size)
+    header = Header(
+        header_dtype, shape, m, layers, eb, value_range,
+        result.unpredictable.size,
+        mode=mode, mode_param=mode_param, side_payload=side_payload,
+    )
+    return write_container(header, codec, stream, unpred_payload)
+
+
+def _psnr_of(data: np.ndarray, recon: np.ndarray, value_range: float) -> float:
+    """PSNR (dB) of a reconstruction over the finite pairs (Metric 2)."""
+    a = data.astype(np.float64)
+    b = recon.astype(np.float64)
+    mask = np.isfinite(a) & np.isfinite(b)
+    if not mask.any():
+        return float("inf")
+    rmse = float(np.sqrt(np.mean((a[mask] - b[mask]) ** 2)))
+    if rmse == 0.0:
+        return float("inf")
+    return float(20.0 * np.log10(value_range / rmse))
+
+
 def compress_with_stats(
     data: np.ndarray,
     abs_bound: float | None = None,
@@ -138,6 +248,8 @@ def compress_with_stats(
     block_size: int = 4096,
     entropy_coder: str = "huffman",
     lossless_post: bool = False,
+    mode: str | None = None,
+    bound: float | None = None,
 ) -> tuple[bytes, CompressionStats]:
     """Compress ``data`` and return ``(container bytes, diagnostics)``.
 
@@ -146,8 +258,14 @@ def compress_with_stats(
     data
         1-, 2- or 3-dimensional (any-d supported) float32/float64 array.
     abs_bound, rel_bound
-        Absolute and/or value-range-based relative error bounds.  At least
-        one is required; with both, the tighter effective bound is used.
+        Legacy bound pair: absolute and/or value-range-based relative
+        error bounds; with both, the tighter effective bound is used.
+        Mutually exclusive with ``mode``/``bound``.
+    mode, bound
+        Explicit error-bound mode (``abs``, ``rel``, ``pw_rel`` or
+        ``psnr``) and its parameter: an absolute bound, a range-relative
+        fraction, a pointwise-relative fraction in (0, 1), or a target
+        PSNR in dB.  See :mod:`repro.core.bounds` for the guarantees.
     layers
         Prediction layers ``n`` (paper default 1; best layer is
         data-dependent, see Table II).
@@ -177,14 +295,22 @@ def compress_with_stats(
         raise ValueError("scalar input not supported")
     if data.size == 0:
         raise ValueError("empty input not supported")
+    spec = ErrorBound.from_args(mode, bound, abs_bound, rel_bound)
     t0 = time.perf_counter()
-    eb, value_range = _resolve_bound(data, abs_bound, rel_bound)
+    value_range = _value_range(data)
 
-    if value_range == 0.0 and np.isfinite(data).all():
-        # Constant field: a single value describes the array exactly.
+    if value_range == 0.0 and np.isfinite(data).all() and _constant_ok(
+        data, spec.mode
+    ):
+        # Constant field: a single value describes the array exactly, so
+        # every mode's guarantee holds trivially.  The recorded eb keeps
+        # the legacy value (the abs bound if one was given, else 0.0) so
+        # abs/rel output stays byte-identical across versions; pw_rel and
+        # psnr requests keep their mode tag so info() reports them.
+        eb = float(spec.abs_bound) if spec.mode == "abs" else 0.0
         header = Header(
             data.dtype, data.shape, interval_bits, layers, eb, 0.0, 0,
-            flags=FLAG_CONSTANT,
+            flags=FLAG_CONSTANT, mode=spec.mode, mode_param=spec.param,
         )
         blob = write_container(header, None, None, b"", float(data.flat[0]))
         stats = CompressionStats(
@@ -193,52 +319,32 @@ def compress_with_stats(
             original_bytes=data.nbytes, compressed_bytes=len(blob),
             elapsed_seconds=time.perf_counter() - t0,
             code_histogram=np.zeros(1, dtype=np.int64),
+            mode=spec.mode, mode_param=spec.param,
         )
         stats.itemsize = data.dtype.itemsize
         return blob, stats
-    if eb == 0.0:
-        raise ValueError("resolved error bound is zero (rel bound on constant data?)")
 
-    plan = _get_plan(data.shape, layers)
-    attempts = 0
-    m = interval_bits
-    while True:
-        attempts += 1
-        radius = interval_radius(m)
-        result = wavefront_compress(data, eb, plan, radius)
-        if not adaptive or result.hit_rate >= theta or m >= _MAX_INTERVAL_BITS:
-            break
-        m = min(_MAX_INTERVAL_BITS, m + 2)
-
-    alphabet = 2 * interval_radius(m)  # codes 0 .. 2^m - 1
-    unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
-    if entropy_coder == "arithmetic":
-        from repro.encoding.arithmetic import encode_symbols
-        from repro.encoding.rice import zigzag
-
-        header = Header(
-            data.dtype, data.shape, m, layers, eb, value_range,
-            result.unpredictable.size, flags=FLAG_ARITHMETIC,
+    if spec.mode == "pw_rel":
+        blob, result, m, attempts, repairs = _compress_pw_rel(
+            data, spec.pw_bound, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, value_range,
         )
-        # Re-center so the dominant code (the interval center) maps to the
-        # cheapest symbol: 0 = unpredictable, 1 = exact hit, then outward.
-        radius = interval_radius(m)
-        mapped = np.where(
-            result.codes == 0,
-            0,
-            zigzag(result.codes - radius).astype(np.int64) + 1,
+        eb, mode_attempts = pw_log_bound(spec.pw_bound, data.dtype), 1 + repairs
+    elif spec.mode == "psnr":
+        blob, result, m, attempts, eb, mode_attempts = _compress_psnr(
+            data, spec.psnr_target, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, value_range,
         )
-        arith = encode_symbols(mapped, max_bits=m + 2)
-        blob = write_container(header, None, None, unpred_payload,
-                               arith_payload=arith)
     else:
-        codec = HuffmanCodec.from_symbols(result.codes, alphabet)
-        stream = codec.encode(result.codes, block_size=block_size)
-        header = Header(
-            data.dtype, data.shape, m, layers, eb, value_range,
-            result.unpredictable.size,
+        eb = spec.resolve(value_range)
+        result, m, attempts = _quantize_adaptive(
+            data, eb, layers, interval_bits, adaptive, theta
         )
-        blob = write_container(header, codec, stream, unpred_payload)
+        blob = _emit_container(
+            result, m, eb, data.dtype, data.shape, value_range, layers,
+            block_size, entropy_coder,
+        )
+        mode_attempts = 1
     if lossless_post:
         blob = wrap(blob)
     stats = CompressionStats(
@@ -251,11 +357,97 @@ def compress_with_stats(
         original_bytes=data.nbytes,
         compressed_bytes=len(blob),
         elapsed_seconds=time.perf_counter() - t0,
-        code_histogram=np.bincount(result.codes, minlength=alphabet),
+        code_histogram=np.bincount(
+            result.codes, minlength=2 * interval_radius(m)
+        ),
         adaptive_attempts=attempts,
+        mode=spec.mode,
+        mode_param=spec.param,
+        mode_attempts=mode_attempts,
     )
     stats.itemsize = data.dtype.itemsize
     return blob, stats
+
+
+def _compress_pw_rel(
+    data: np.ndarray,
+    pw_bound: float,
+    layers: int,
+    interval_bits: int,
+    adaptive: bool,
+    theta: float,
+    block_size: int,
+    entropy_coder: str,
+    value_range: float,
+):
+    """Pointwise-relative mode: log-precondition, quantize, verify-repair."""
+    eb_log = pw_log_bound(pw_bound, data.dtype)
+    logs, flags, signs = pw_precondition(data)
+    result, m, attempts = _quantize_adaptive(
+        logs, eb_log, layers, interval_bits, adaptive, theta
+    )
+    # result.decompressed is the exact float64 log field a decompressor
+    # materializes; any value the margin analysis failed to cover is
+    # re-flagged raw here, making the pointwise guarantee unconditional.
+    repairs = pw_apply_repairs(
+        data, result.decompressed, flags, signs, pw_bound
+    )
+    side = pw_encode_side(data, flags, signs)
+    blob = _emit_container(
+        result, m, eb_log, data.dtype, data.shape, value_range, layers,
+        block_size, entropy_coder,
+        mode="pw_rel", mode_param=pw_bound, side_payload=side,
+    )
+    return blob, result, m, attempts, repairs
+
+
+def _compress_psnr(
+    data: np.ndarray,
+    target_db: float,
+    layers: int,
+    interval_bits: int,
+    adaptive: bool,
+    theta: float,
+    block_size: int,
+    entropy_coder: str,
+    value_range: float,
+):
+    """PSNR-targeted mode: model-derived bound, verified post-hoc.
+
+    The first candidate comes from the uniform-quantization noise model;
+    if the actual reconstruction misses the target, the fallback bound
+    ``R * 10^(-target/20)`` is mathematically guaranteed to reach it
+    (``rmse <= max|error| <= eb``).  Further halvings are pure paranoia.
+    """
+    if value_range == 0.0:
+        # Only reachable when non-finite values block the constant
+        # shortcut: PSNR normalizes by the value range, so a target on a
+        # zero-range field is as meaningless as a relative bound on one.
+        raise ValueError(
+            "psnr target cannot be resolved: the field's finite value "
+            "range is 0 (constant data with NaN/Inf); pass abs_bound "
+            "(or mode='abs') instead"
+        )
+    fallback = psnr_fallback_bound(target_db, value_range)
+    candidates = [
+        psnr_to_abs_bound(target_db, value_range),
+        fallback, fallback / 2.0, fallback / 4.0,
+    ]
+    for mode_attempts, eb in enumerate(candidates, start=1):
+        result, m, attempts = _quantize_adaptive(
+            data, eb, layers, interval_bits, adaptive, theta
+        )
+        if _psnr_of(data, result.decompressed, value_range) >= target_db:
+            break
+    else:  # pragma: no cover - fallback candidates are guaranteed above
+        raise RuntimeError(
+            f"could not reach the PSNR target {target_db} dB"
+        )
+    blob = _emit_container(
+        result, m, eb, data.dtype, data.shape, value_range, layers,
+        block_size, entropy_coder, mode="psnr", mode_param=target_db,
+    )
+    return blob, result, m, attempts, eb, mode_attempts
 
 
 def compress(
@@ -269,11 +461,13 @@ def compress(
     block_size: int = 4096,
     entropy_coder: str = "huffman",
     lossless_post: bool = False,
+    mode: str | None = None,
+    bound: float | None = None,
 ) -> bytes:
     """Compress ``data``; see :func:`compress_with_stats` for parameters."""
     blob, _ = compress_with_stats(
         data, abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
-        block_size, entropy_coder, lossless_post,
+        block_size, entropy_coder, lossless_post, mode, bound,
     )
     return blob
 
@@ -289,6 +483,11 @@ def decompress(blob: bytes) -> np.ndarray:
     if header.is_constant:
         return np.full(header.shape, constant, dtype=header.dtype)
     expected = int(np.prod(header.shape))
+    # pw_rel bodies encode the float64 log field; every other mode's body
+    # lives directly in the advertised dtype.
+    inner_dtype = (
+        np.dtype(np.float64) if header.mode == "pw_rel" else header.dtype
+    )
     try:
         if header.is_arithmetic:
             from repro.encoding.arithmetic import decode_symbols
@@ -310,17 +509,20 @@ def decompress(blob: bytes) -> np.ndarray:
                 f"corrupt container: {codes.size} codes for {expected} points"
             )
         unpred_recon = decode_unpredictable(
-            unpred_payload, header.unpred_count, header.eb_abs, header.dtype
+            unpred_payload, header.unpred_count, header.eb_abs, inner_dtype
         )
-    except EOFError as exc:
+        plan = _get_plan(header.shape, header.layers)
+        radius = interval_radius(header.interval_bits)
+        out = wavefront_decompress(
+            codes, unpred_recon, plan, header.eb_abs, radius, inner_dtype
+        )
+        if header.mode == "pw_rel":
+            out = pw_postcondition(out, header.side_payload, header.dtype)
+        return out
+    except (EOFError, IndexError) as exc:
         # A corrupted (but length-preserving) payload must fail with the
         # same clean ValueError contract as a truncated container.
         raise ValueError(f"corrupt SZ-1.4 container: {exc}") from exc
-    plan = _get_plan(header.shape, header.layers)
-    radius = interval_radius(header.interval_bits)
-    return wavefront_decompress(
-        codes, unpred_recon, plan, header.eb_abs, radius, header.dtype
-    )
 
 
 def container_info(blob: bytes) -> dict:
@@ -336,6 +538,8 @@ def container_info(blob: bytes) -> dict:
     return {
         "shape": header.shape,
         "dtype": str(np.dtype(header.dtype)),
+        "mode": header.mode,
+        "mode_param": header.mode_param,
         "eb_abs": header.eb_abs,
         "value_range": header.value_range,
         "layers": header.layers,
@@ -369,6 +573,8 @@ class SZ14Compressor:
         theta: float = DEFAULT_THETA,
         entropy_coder: str = "huffman",
         lossless_post: bool = False,
+        mode: str | None = None,
+        bound: float | None = None,
     ) -> None:
         self.abs_bound = abs_bound
         self.rel_bound = rel_bound
@@ -378,6 +584,8 @@ class SZ14Compressor:
         self.theta = theta
         self.entropy_coder = entropy_coder
         self.lossless_post = lossless_post
+        self.mode = mode
+        self.bound = bound
 
     def _kwargs(self, **overrides):
         kwargs = dict(
@@ -389,6 +597,8 @@ class SZ14Compressor:
             theta=self.theta,
             entropy_coder=self.entropy_coder,
             lossless_post=self.lossless_post,
+            mode=self.mode,
+            bound=self.bound,
         )
         kwargs.update({k: v for k, v in overrides.items() if v is not None})
         return kwargs

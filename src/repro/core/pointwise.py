@@ -1,18 +1,17 @@
-"""Point-wise relative error bounds (extension).
+"""Point-wise relative error bounds — legacy API over ``mode="pw_rel"``.
 
 The paper's footnote 1 distinguishes *value-range-based* relative error
 (|e| ≤ p·R_X, what SZ-1.4 implements) from *point-wise* relative error
-(|e_i| ≤ p·|x_i|).  Later SZ work added the point-wise mode through a
-logarithmic transform; this module implements that approach on top of
-the SZ-1.4 core:
+(|e_i| ≤ p·|x_i|).  This module predates the error-bound mode subsystem
+(:mod:`repro.core.bounds`) and is kept as a thin compatibility shim: the
+log-preconditioning now lives in the mode pipeline, so
+:func:`compress_pointwise` simply produces a standard mode-tagged
+container that :func:`repro.core.decompress` (and every container-aware
+tool: the CLI, tiled readers, archives) understands directly.
 
-* signs (−1/0/+1) are entropy-coded separately;
-* magnitudes are compressed as ``log(|x|)`` with the absolute bound
-  ``log(1 + p)``, which guarantees the multiplicative bound
-  ``x̂/x ∈ [1/(1+p), 1+p]`` and hence ``|x̂ − x| ≤ p·|x|`` point-wise;
-* exact zeros are preserved exactly (sign code 0).
-
-Only finite inputs are supported (raise otherwise).
+The historical API contract is preserved: bounds must lie in (0, 1) and
+non-finite inputs are rejected here even though ``mode="pw_rel"`` itself
+carries NaN/Inf losslessly.
 """
 
 from __future__ import annotations
@@ -21,12 +20,8 @@ import numpy as np
 
 from repro.core.compressor import compress as _compress
 from repro.core.compressor import decompress as _decompress
-from repro.encoding.huffman import EncodedStream, HuffmanCodec
-from repro.encoding.bitio import BitReader, BitWriter
 
 __all__ = ["compress_pointwise", "decompress_pointwise"]
-
-_MAGIC = 0x535A5057  # 'SZPW'
 
 
 def compress_pointwise(
@@ -40,53 +35,9 @@ def compress_pointwise(
         raise ValueError("pointwise relative bound must be in (0, 1)")
     if not np.isfinite(data).all():
         raise ValueError("pointwise mode supports finite data only")
-    signs = np.sign(data).astype(np.int64) + 1  # 0/1/2 for -/0/+
-    mags = np.abs(data.astype(np.float64))
-    nonzero = mags > 0.0
-    log_mag = np.zeros_like(mags)
-    if nonzero.any():
-        log_mag[nonzero] = np.log(mags[nonzero])
-        # zeros carry a neutral magnitude so they do not distort the
-        # value range of the log field (their sign code forces exact 0)
-        log_mag[~nonzero] = log_mag[nonzero].min()
-    eb_log = float(np.log1p(rel_bound))
-    inner = _compress(
-        log_mag.astype(data.dtype), abs_bound=eb_log, **sz_kwargs
-    )
-    sign_codec = HuffmanCodec.from_symbols(signs, 3)
-    sign_stream = sign_codec.encode(signs.ravel())
-
-    w = BitWriter()
-    w.write(_MAGIC, 32)
-    w.write(0 if data.dtype == np.float32 else 1, 8)
-    sign_codec.write_table(w)
-    head = w.getvalue()
-    sign_blob = sign_stream.to_bytes()
-    out = bytearray(head)
-    out += len(sign_blob).to_bytes(6, "big")
-    out += sign_blob
-    out += len(inner).to_bytes(6, "big")
-    out += inner
-    return bytes(out)
+    return _compress(data, mode="pw_rel", bound=float(rel_bound), **sz_kwargs)
 
 
 def decompress_pointwise(blob: bytes) -> np.ndarray:
     """Inverse of :func:`compress_pointwise`."""
-    r = BitReader(blob)
-    if r.read(32) != _MAGIC:
-        raise ValueError("not a pointwise-relative container")
-    dtype = np.dtype(np.float32 if r.read(8) == 0 else np.float64)
-    sign_codec = HuffmanCodec.read_table(r)
-    pos = (r.bitpos + 7) // 8
-    sign_len = int.from_bytes(blob[pos : pos + 6], "big")
-    pos += 6
-    sign_stream = EncodedStream.from_bytes(blob[pos : pos + sign_len])
-    pos += sign_len
-    inner_len = int.from_bytes(blob[pos : pos + 6], "big")
-    pos += 6
-    inner = bytes(blob[pos : pos + inner_len])
-
-    log_mag = _decompress(inner).astype(np.float64)
-    signs = sign_codec.decode(sign_stream).reshape(log_mag.shape) - 1
-    out = signs * np.exp(log_mag)
-    return out.astype(dtype)
+    return _decompress(blob)

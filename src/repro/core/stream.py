@@ -6,14 +6,23 @@ Self-describing byte layout::
     interval_bits m (8) | layers n (8) | flags (8) |
     shape: ndim x 48 | eb_abs: raw float64 bits (64) |
     value_range: raw float64 bits (64) | unpred_count (48)
+    [version 2: mode code (8) | mode param: raw float64 bits (64)]
     [flag CONSTANT: constant value (64), end]
     Huffman length table (self-delimiting)
     -- byte align --
     EncodedStream blob length (48) | EncodedStream bytes
     unpredictable payload length (48) | payload bytes
+    [version 2: side payload length (48) | side payload bytes]
 
 Everything needed for decompression is in the container; the caller only
 holds bytes.  Version and magic are checked; truncation raises.
+
+Versioning: ``abs``/``rel`` containers are written as version 1 —
+byte-identical to every blob this library ever produced, and decoded as
+mode ``abs`` (the effective bound is absolute either way).  The
+mode-tagged version 2 layout is emitted only for the ``pw_rel`` and
+``psnr`` modes, which need the mode code, its parameter, and (for
+``pw_rel``) the preconditioning side payload to reconstruct.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bounds import CODE_MODES, MODE_CODES, MODED_MODES
 from repro.encoding.bitio import BitReader, BitWriter
 from repro.encoding.huffman import EncodedStream, HuffmanCodec
 
@@ -31,15 +41,22 @@ __all__ = [
     "read_container",
     "FLAG_CONSTANT",
     "FLAG_ARITHMETIC",
+    "MODE_CODES",
+    "MODED_VERSION",
 ]
 
 MAGIC = 0x535A5250  # 'SZRP'
 VERSION = 1
+MODED_VERSION = 2  # version 1 + mode tag / param / side payload
 FLAG_CONSTANT = 1
 FLAG_ARITHMETIC = 2  # quantization codes arithmetic- instead of Huffman-coded
 
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 _CODE_DTYPES = {v: k for k, v in _DTYPE_CODES.items()}
+
+# Mode byte values and the moded-mode set are owned by the bounds module
+# so the v1/v2 and tiled container families share one table.
+_CODE_MODES = CODE_MODES
 
 
 @dataclass
@@ -52,6 +69,9 @@ class Header:
     value_range: float
     unpred_count: int
     flags: int = 0
+    mode: str = "abs"
+    mode_param: float = 0.0
+    side_payload: bytes = b""
 
     @property
     def is_constant(self) -> bool:
@@ -60,6 +80,11 @@ class Header:
     @property
     def is_arithmetic(self) -> bool:
         return bool(self.flags & FLAG_ARITHMETIC)
+
+    @property
+    def is_moded(self) -> bool:
+        """True when the container needs the mode-tagged v2 layout."""
+        return self.mode in MODED_MODES
 
 
 def _f64_bits(x: float) -> int:
@@ -78,9 +103,10 @@ def write_container(
     constant_value: float = 0.0,
     arith_payload: bytes | None = None,
 ) -> bytes:
+    moded = header.is_moded
     w = BitWriter()
     w.write(MAGIC, 32)
-    w.write(VERSION, 8)
+    w.write(MODED_VERSION if moded else VERSION, 8)
     w.write(_DTYPE_CODES[np.dtype(header.dtype)], 8)
     w.write(len(header.shape), 8)
     w.write(header.interval_bits, 8)
@@ -91,6 +117,9 @@ def write_container(
     w.write(_f64_bits(header.eb_abs), 64)
     w.write(_f64_bits(header.value_range), 64)
     w.write(header.unpred_count, 48)
+    if moded:
+        w.write(MODE_CODES[header.mode], 8)
+        w.write(_f64_bits(header.mode_param), 64)
     if header.is_constant:
         w.write(_f64_bits(constant_value), 64)
         return w.getvalue()
@@ -107,6 +136,9 @@ def write_container(
     out += stream_blob
     out += len(unpred_payload).to_bytes(6, "big")
     out += unpred_payload
+    if moded:
+        out += len(header.side_payload).to_bytes(6, "big")
+        out += header.side_payload
     return bytes(out)
 
 
@@ -126,7 +158,7 @@ def read_container(
         if r.read(32) != MAGIC:
             raise ValueError("not an SZ-1.4 (repro) container: bad magic")
         version = r.read(8)
-        if version != VERSION:
+        if version not in (VERSION, MODED_VERSION):
             raise ValueError(f"unsupported container version {version}")
         dtype_code = r.read(8)
         if dtype_code not in _CODE_DTYPES:
@@ -152,9 +184,18 @@ def read_container(
                 f"corrupt container: {unpred_count} unpredictable values "
                 f"for {n_values} points"
             )
+        mode, mode_param = "abs", 0.0  # untagged v1 blobs decode as abs
+        if version == MODED_VERSION:
+            mode_code = r.read(8)
+            if mode_code not in _CODE_MODES:
+                raise ValueError(
+                    f"corrupt container: unknown mode code {mode_code}"
+                )
+            mode = _CODE_MODES[mode_code]
+            mode_param = _bits_f64(r.read(64))
         header = Header(
             dtype, shape, interval_bits, layers, eb_abs, value_range,
-            unpred_count, flags,
+            unpred_count, flags, mode, mode_param,
         )
         if header.is_constant:
             constant = _bits_f64(r.read(64))
@@ -179,6 +220,13 @@ def read_container(
         if pos + unpred_len > len(blob):
             raise EOFError("truncated container: unpredictable payload")
         payload = bytes(blob[pos : pos + unpred_len])
+        pos += unpred_len
+        if version == MODED_VERSION:
+            side_len = int.from_bytes(blob[pos : pos + 6], "big")
+            pos += 6
+            if pos + side_len > len(blob):
+                raise EOFError("truncated container: mode side payload")
+            header.side_payload = bytes(blob[pos : pos + side_len])
         return header, codec, stream, payload, 0.0, arith
     except EOFError as exc:
         raise ValueError(f"truncated SZ-1.4 container: {exc}") from exc

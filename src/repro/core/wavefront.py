@@ -195,13 +195,19 @@ def _compress_1d(
         for k in range(n):
             pred += coeffs[k] * dec[i + n - 1 - k]
         x = xs[i]
-        q = round((x - pred) / two_eb)
-        if -radius < q < radius:
-            recon = float(cast(pred + q * two_eb))
-            if abs(x - recon) <= eb and np.isfinite(recon):
-                codes[i] = q + radius
-                dec[i + n] = recon
-                continue
+        d = (x - pred) / two_eb
+        # The range gate is also the NaN/Inf guard: a non-finite x (or a
+        # prediction poisoned by a raw-stored Inf neighbour) fails the
+        # comparison and falls through to the unpredictable path, exactly
+        # like the vectorized N-d kernel.
+        if -radius < d < radius:
+            q = round(d)
+            if -radius < q < radius:
+                recon = float(cast(pred + q * two_eb))
+                if abs(x - recon) <= eb and np.isfinite(recon):
+                    codes[i] = q + radius
+                    dec[i + n] = recon
+                    continue
         unpred_idx.append(i)
         dec[i + n] = float(
             truncate_to_bound(np.array([x], dtype=out_dtype), eb)[0]

@@ -11,6 +11,7 @@ from repro.metrics.errors import (
     nrmse,
     psnr,
     rmse,
+    verify_bound,
 )
 from repro.metrics.rates import (
     bit_rate,
@@ -34,4 +35,5 @@ __all__ = [
     "rmse",
     "throughput_mb_s",
     "tile_ratio_stats",
+    "verify_bound",
 ]

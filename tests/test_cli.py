@@ -142,6 +142,96 @@ class TestTiledCli:
         assert "(24, 24)" in out
 
 
+class TestModeCli:
+    def test_pw_rel_end_to_end(self, tmp_path, capsys, rng):
+        data = (rng.standard_normal((30, 40)) *
+                10.0 ** rng.integers(-5, 5, (30, 40))).astype(np.float64)
+        src = tmp_path / "w.npy"
+        comp = tmp_path / "w.sz"
+        dst = tmp_path / "w_out.npy"
+        np.save(src, data)
+        assert main(["compress", str(src), str(comp),
+                     "--mode", "pw_rel", "--bound", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "mode pw_rel" in out
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        restored = np.load(dst)
+        nz = data != 0
+        rel_err = np.abs(restored[nz] - data[nz]) / np.abs(data[nz])
+        assert rel_err.max() <= 1e-3
+
+    def test_psnr_end_to_end(self, tmp_path, smooth2d):
+        from repro.metrics import psnr
+
+        src = tmp_path / "p.npy"
+        comp = tmp_path / "p.sz"
+        dst = tmp_path / "p_out.npy"
+        np.save(src, smooth2d)
+        assert main(["compress", str(src), str(comp),
+                     "--mode", "psnr", "--bound", "66"]) == 0
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        assert psnr(smooth2d, np.load(dst)) >= 66.0
+
+    def test_info_reports_mode(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "m.npy"
+        comp = tmp_path / "m.sz"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp),
+              "--mode", "pw_rel", "--bound", "1e-3"])
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "pw_rel" in out and "0.001" in out
+
+    def test_info_reports_mode_tiled(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "mt.npy"
+        comp = tmp_path / "mt.szt"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp),
+              "--mode", "psnr", "--bound", "70", "--tile", "16"])
+        capsys.readouterr()
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "tiled-v3" in out and "psnr" in out and "70" in out
+
+    def test_tiled_pw_rel_region(self, tmp_path, smooth2d):
+        src = tmp_path / "tr.npy"
+        comp = tmp_path / "tr.szt"
+        roi = tmp_path / "tr_roi.npy"
+        full = tmp_path / "tr_full.npy"
+        np.save(src, smooth2d)
+        assert main(["compress", str(src), str(comp),
+                     "--mode", "pw_rel", "--bound", "1e-3",
+                     "--tile", "16"]) == 0
+        main(["decompress", str(comp), str(full)])
+        assert main(["decompress", str(comp), str(roi),
+                     "--region", "5:14,60:"]) == 0
+        np.testing.assert_array_equal(
+            np.load(roi), np.load(full)[5:14, 60:]
+        )
+
+    def test_mode_without_bound_rejected(self, tmp_path, smooth2d):
+        src = tmp_path / "x.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit, match="--bound"):
+            main(["compress", str(src), str(tmp_path / "x.sz"),
+                  "--mode", "psnr"])
+
+    def test_mode_and_legacy_bound_rejected(self, tmp_path, smooth2d):
+        src = tmp_path / "y.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["compress", str(src), str(tmp_path / "y.sz"),
+                  "--mode", "abs", "--bound", "0.1", "--rel", "1e-3"])
+
+    def test_bound_without_mode_rejected(self, tmp_path, smooth2d):
+        src = tmp_path / "z.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit, match="--mode"):
+            main(["compress", str(src), str(tmp_path / "z.sz"),
+                  "--bound", "1e-3"])
+
+
 class TestInfo:
     def test_info_prints_header(self, tmp_path, capsys, smooth2d):
         src = tmp_path / "f.npy"
@@ -177,3 +267,10 @@ class TestAblation:
         assert main(["ablation", "tiles", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "whole array (v1)" in out and "roi_read" in out
+
+    def test_ablation_modes(self, capsys):
+        assert main(["ablation", "modes", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for mode in ("abs", "rel", "pw_rel", "psnr"):
+            assert mode in out
+        assert "bound_held" in out and "False" not in out
