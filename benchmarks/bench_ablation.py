@@ -6,7 +6,6 @@ quantization scheme) at the configured scale.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 

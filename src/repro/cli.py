@@ -21,6 +21,9 @@ Subcommands
     hyperslab (reading only the intersecting tiles of a v2 container).
 ``info FILE.sz``
     Pretty-print container metadata for v1 and tiled v2 containers.
+``bench [--scale tiny|small|large] [--out BENCH_micro.json]``
+    Run the perf micro-benchmark sweep (see :mod:`repro.perf.bench`)
+    and write the schema-versioned stage-breakdown report.
 """
 
 from __future__ import annotations
@@ -207,6 +210,18 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf.bench import main as bench_main
+
+    argv = ["--scale", args.scale, "--repeats", str(args.repeats),
+            "--out", args.out]
+    if args.only:
+        argv += ["--only", args.only]
+    if args.modes:
+        argv += ["--modes", args.modes]
+    return bench_main(argv)
+
+
 def _cmd_ablation(args) -> int:
     from repro.experiments.ablation import ABLATIONS
 
@@ -273,6 +288,19 @@ def main(argv: list[str] | None = None) -> int:
     p_i = sub.add_parser("info", help="inspect a container (v1 or tiled v2)")
     p_i.add_argument("input")
     p_i.set_defaults(func=_cmd_info)
+
+    p_b = sub.add_parser(
+        "bench", help="run the perf micro-benchmark sweep"
+    )
+    p_b.add_argument("--scale", default="small",
+                     choices=["tiny", "small", "large"])
+    p_b.add_argument("--repeats", type=int, default=3)
+    p_b.add_argument("--only", default=None,
+                     help="comma-separated case names (e.g. 3d-f32-rel)")
+    p_b.add_argument("--modes", default=None,
+                     help="comma-separated modes (abs,rel,pw_rel,psnr)")
+    p_b.add_argument("--out", default="BENCH_micro.json")
+    p_b.set_defaults(func=_cmd_bench)
 
     p_a = sub.add_parser("ablation", help="run a design-choice ablation")
     from repro.experiments.ablation import ABLATIONS

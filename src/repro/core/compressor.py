@@ -60,6 +60,7 @@ from repro.core.wavefront import (
     wavefront_decompress,
 )
 from repro.encoding.huffman import HuffmanCodec
+from repro.perf import stage
 
 __all__ = [
     "CompressionStats",
@@ -116,6 +117,14 @@ class CompressionStats:
 
 def _value_range(data: np.ndarray) -> float:
     """Finite value range ``max - min`` (0.0 when nothing is finite)."""
+    # Fast path: min/max without the isfinite boolean-index copy.  A
+    # finite difference proves both extremes finite (inf - inf = nan,
+    # anything involving nan is nan), so the result equals the masked
+    # computation; otherwise fall back to it.  The subtraction stays in
+    # the array dtype — float32 ranges must round exactly as before.
+    spread = float(data.max() - data.min())
+    if spread == spread and abs(spread) != float("inf"):
+        return spread
     finite = data[np.isfinite(data)]
     return float(finite.max() - finite.min()) if finite.size else 0.0
 
@@ -185,15 +194,20 @@ def _emit_container(
     mode: str = "abs",
     mode_param: float = 0.0,
     side_payload: bytes = b"",
+    code_hist: np.ndarray | None = None,
 ) -> bytes:
     """Entropy-code a wavefront result and wrap it in a container.
 
     ``header_dtype`` is the *user-facing* dtype: for ``pw_rel`` the body
     encodes the float64 log field while the header advertises the
     original dtype (the mode tag tells the decoder the inner domain).
+    ``code_hist``, when provided, is the precomputed code histogram
+    (``np.bincount`` over the full alphabet) — callers that also need it
+    for diagnostics pass it in so the pass over the codes runs once.
     """
     alphabet = 2 * interval_radius(m)  # codes 0 .. 2^m - 1
-    unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
+    with stage("unpredictable", nbytes=result.unpredictable.nbytes):
+        unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
     if entropy_coder == "arithmetic":
         from repro.encoding.arithmetic import encode_symbols
         from repro.encoding.rice import zigzag
@@ -206,16 +220,24 @@ def _emit_container(
         # Re-center so the dominant code (the interval center) maps to the
         # cheapest symbol: 0 = unpredictable, 1 = exact hit, then outward.
         radius = interval_radius(m)
-        mapped = np.where(
-            result.codes == 0,
-            0,
-            zigzag(result.codes - radius).astype(np.int64) + 1,
-        )
-        arith = encode_symbols(mapped, max_bits=m + 2)
+        with stage("entropy", nbytes=result.codes.nbytes):
+            mapped = np.where(
+                result.codes == 0,
+                0,
+                zigzag(result.codes - radius).astype(np.int64) + 1,
+            )
+            arith = encode_symbols(mapped, max_bits=m + 2)
         return write_container(header, None, None, unpred_payload,
                                arith_payload=arith)
-    codec = HuffmanCodec.from_symbols(result.codes, alphabet)
-    stream = codec.encode(result.codes, block_size=block_size)
+    with stage("entropy", nbytes=result.codes.nbytes):
+        if code_hist is None:
+            code_hist = np.bincount(result.codes, minlength=alphabet)
+        codec = HuffmanCodec.from_frequencies(code_hist)
+        # The codec was built from these very codes, so the range /
+        # zero-frequency validation scans are redundant here.
+        stream = codec.encode(
+            result.codes, block_size=block_size, validate=False
+        )
     header = Header(
         header_dtype, shape, m, layers, eb, value_range,
         result.unpredictable.size,
@@ -324,6 +346,7 @@ def compress_with_stats(
         stats.itemsize = data.dtype.itemsize
         return blob, stats
 
+    code_hist = None
     if spec.mode == "pw_rel":
         blob, result, m, attempts, repairs = _compress_pw_rel(
             data, spec.pw_bound, layers, interval_bits, adaptive, theta,
@@ -340,13 +363,15 @@ def compress_with_stats(
         result, m, attempts = _quantize_adaptive(
             data, eb, layers, interval_bits, adaptive, theta
         )
+        code_hist = np.bincount(result.codes, minlength=2 * interval_radius(m))
         blob = _emit_container(
             result, m, eb, data.dtype, data.shape, value_range, layers,
-            block_size, entropy_coder,
+            block_size, entropy_coder, code_hist=code_hist,
         )
         mode_attempts = 1
     if lossless_post:
-        blob = wrap(blob)
+        with stage("lossless_post", nbytes=len(blob)):
+            blob = wrap(blob)
     stats = CompressionStats(
         eb_abs=eb,
         value_range=value_range,
@@ -357,8 +382,10 @@ def compress_with_stats(
         original_bytes=data.nbytes,
         compressed_bytes=len(blob),
         elapsed_seconds=time.perf_counter() - t0,
-        code_histogram=np.bincount(
-            result.codes, minlength=2 * interval_radius(m)
+        code_histogram=(
+            code_hist
+            if code_hist is not None
+            else np.bincount(result.codes, minlength=2 * interval_radius(m))
         ),
         adaptive_attempts=attempts,
         mode=spec.mode,
@@ -478,7 +505,8 @@ def decompress(blob: bytes) -> np.ndarray:
     Accepts plain containers, ``lossless_post``-wrapped containers, and
     both entropy-coder variants — the container is self-describing.
     """
-    blob = unwrap(blob)
+    with stage("lossless_unwrap", nbytes=len(blob)):
+        blob = unwrap(blob)
     header, codec, stream, unpred_payload, constant, arith = read_container(blob)
     if header.is_constant:
         return np.full(header.shape, constant, dtype=header.dtype)
@@ -493,24 +521,27 @@ def decompress(blob: bytes) -> np.ndarray:
             from repro.encoding.arithmetic import decode_symbols
             from repro.encoding.rice import unzigzag
 
-            mapped = decode_symbols(
-                arith, expected, max_bits=header.interval_bits + 2
-            )
-            radius = interval_radius(header.interval_bits)
-            codes = np.where(
-                mapped == 0,
-                0,
-                unzigzag((mapped - 1).astype(np.uint64)) + radius,
-            )
+            with stage("entropy", nbytes=len(arith)):
+                mapped = decode_symbols(
+                    arith, expected, max_bits=header.interval_bits + 2
+                )
+                radius = interval_radius(header.interval_bits)
+                codes = np.where(
+                    mapped == 0,
+                    0,
+                    unzigzag((mapped - 1).astype(np.uint64)) + radius,
+                )
         else:
-            codes = codec.decode(stream)
+            with stage("entropy", nbytes=int(stream.payload.nbytes)):
+                codes = codec.decode(stream)
         if codes.size != expected:
             raise ValueError(
                 f"corrupt container: {codes.size} codes for {expected} points"
             )
-        unpred_recon = decode_unpredictable(
-            unpred_payload, header.unpred_count, header.eb_abs, inner_dtype
-        )
+        with stage("unpredictable", nbytes=len(unpred_payload)):
+            unpred_recon = decode_unpredictable(
+                unpred_payload, header.unpred_count, header.eb_abs, inner_dtype
+            )
         plan = _get_plan(header.shape, header.layers)
         radius = interval_radius(header.interval_bits)
         out = wavefront_decompress(

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.bounds import CODE_MODES, MODE_CODES, MODED_MODES
 from repro.encoding.bitio import BitReader, BitWriter
 from repro.encoding.huffman import EncodedStream, HuffmanCodec
+from repro.perf import stage
 
 __all__ = [
     "Header",
@@ -103,6 +104,20 @@ def write_container(
     constant_value: float = 0.0,
     arith_payload: bytes | None = None,
 ) -> bytes:
+    with stage("container_write"):
+        return _write_container(
+            header, codec, stream, unpred_payload, constant_value, arith_payload
+        )
+
+
+def _write_container(
+    header: Header,
+    codec: HuffmanCodec | None,
+    stream: EncodedStream | None,
+    unpred_payload: bytes,
+    constant_value: float = 0.0,
+    arith_payload: bytes | None = None,
+) -> bytes:
     moded = header.is_moded
     w = BitWriter()
     w.write(MAGIC, 32)
@@ -153,6 +168,15 @@ def read_container(
     arithmetic payload)``; the codec/stream pair and the arithmetic
     payload are mutually exclusive depending on ``header.is_arithmetic``.
     """
+    with stage("container_read", nbytes=len(blob)):
+        return _read_container(blob)
+
+
+def _read_container(
+    blob: bytes,
+) -> tuple[
+    Header, HuffmanCodec | None, EncodedStream | None, bytes, float, bytes
+]:
     r = BitReader(blob)
     try:
         if r.read(32) != MAGIC:

@@ -130,18 +130,23 @@ def encode_unpredictable(values: np.ndarray, eb: float) -> tuple[bytes, np.ndarr
     flags[is_raw] = _FLAG_RAW
 
     sections: list[np.ndarray] = []
-    flag_buf, _ = pack_varlen(flags, np.full(n, 2, dtype=np.int64))
+    # All three sections pack values that fit their widths by
+    # construction (flags < 4, sign|exp fields, right-shifted mantissa
+    # prefixes), so the masking pass is skipped.
+    flag_buf, _ = pack_varlen(flags, np.full(n, 2, dtype=np.int64), masked=True)
     sections.append(flag_buf)
 
     if is_normal.any():
         t = _required_bits(exp[is_normal], eb, lo)
         head = (sign[is_normal] << np.uint64(lo.exp_bits)) | exp[is_normal]
         head_buf, _ = pack_varlen(
-            head, np.full(int(is_normal.sum()), 1 + lo.exp_bits, dtype=np.int64)
+            head,
+            np.full(int(is_normal.sum()), 1 + lo.exp_bits, dtype=np.int64),
+            masked=True,
         )
         sections.append(head_buf)
         mant_prefix = mant[is_normal] >> (lo.mant_bits - t).astype(np.uint64)
-        mant_buf, _ = pack_varlen(mant_prefix, t)
+        mant_buf, _ = pack_varlen(mant_prefix, t, masked=True)
         sections.append(mant_buf)
     if is_raw.any():
         raw_buf, _ = pack_varlen(

@@ -24,8 +24,9 @@ from functools import reduce
 import numpy as np
 
 from repro.core.predictor import prediction_stencil
-from repro.core.quantizer import UNPREDICTABLE, quantize
+from repro.core.quantizer import UNPREDICTABLE
 from repro.core.unpredictable import truncate_to_bound
+from repro.perf import stage
 
 __all__ = ["WavefrontPlan", "wavefront_compress", "wavefront_decompress"]
 
@@ -99,30 +100,72 @@ def wavefront_compress(
     Returns codes and unpredictable originals in wavefront order, plus the
     exact array a decompressor will reconstruct.
     """
+    with stage("quantize", nbytes=data.nbytes):
+        return _wavefront_compress(data, eb, plan, radius)
+
+
+def _wavefront_compress(
+    data: np.ndarray,
+    eb: float,
+    plan: WavefrontPlan,
+    radius: int,
+) -> WavefrontResult:
     if data.ndim == 1:
         return _compress_1d(data, eb, plan.n, radius)
     out_dtype = data.dtype
-    values_wf = data.reshape(-1).astype(np.float64)[plan.order]
+    values_orig_wf = data.reshape(-1)[plan.order]
+    values_wf = values_orig_wf.astype(np.float64)
     padded = np.zeros(plan.padded_shape, dtype=np.float64)
     pflat = padded.reshape(-1)
     codes = np.zeros(values_wf.size, dtype=np.int64)
     unpred_chunks: list[np.ndarray] = []
     coeffs, deltas, pad_flat = plan.coeffs, plan.deltas, plan.pad_flat
-
-    for start, end in plan.groups:
-        base = pad_flat[start:end]
-        x = values_wf[start:end]
-        pred = np.zeros(end - start, dtype=np.float64)
-        for c, dlt in zip(coeffs, deltas):
-            pred += c * pflat[base - dlt]
-        g_codes, recon, ok = quantize(x, pred, eb, radius, out_dtype)
-        codes[start:end] = g_codes
-        if not ok.all():
-            miss = ~ok
-            originals = x[miss].astype(out_dtype)
-            unpred_chunks.append(originals)
-            recon[miss] = truncate_to_bound(originals, eb).astype(np.float64)
-        pflat[base] = recon
+    # Hoisted out of the per-hyperplane loop: the finite mask of the whole
+    # field (one pass instead of one per group) and the errstate guard
+    # (entering/leaving it ~200 times dominates small hyperplanes).
+    finite_wf = np.isfinite(values_wf)
+    all_finite = bool(finite_wf.all())
+    two_eb = 2.0 * eb
+    fradius = float(radius)
+    with np.errstate(invalid="ignore", over="ignore"):
+        for start, end in plan.groups:
+            base = pad_flat[start:end]
+            x = values_wf[start:end]
+            # One fancy-index gather for all stencil arms; accumulation
+            # order matches the scalar formulation exactly (bit-identical
+            # prediction sums).
+            neighbours = pflat[base - deltas[:, None]]
+            pred = np.zeros(end - start, dtype=np.float64)
+            for k in range(len(coeffs)):
+                pred += coeffs[k] * neighbours[k]
+            # Inlined error-controlled quantization (same operations, in
+            # the same order, as repro.core.quantizer.quantize — kept
+            # bit-identical; see tests/test_wavefront.py).
+            diff = x - pred
+            diff /= two_eb
+            qoff = np.rint(diff)
+            within = np.abs(qoff) < fradius
+            qoff[~within] = 0.0  # avoid overflow on wild misses
+            recon = pred + qoff * two_eb
+            recon = recon.astype(out_dtype).astype(np.float64)
+            ok = within
+            if not all_finite:
+                ok &= finite_wf[start:end]
+            ok &= np.isfinite(recon)
+            ok &= np.abs(x - recon) <= eb
+            g_codes = (qoff + fradius).astype(np.int64)
+            if ok.all():
+                codes[start:end] = g_codes
+            else:
+                miss = ~ok
+                g_codes[miss] = 0
+                codes[start:end] = g_codes
+                originals = values_orig_wf[start:end][miss]
+                unpred_chunks.append(originals)
+                recon[miss] = truncate_to_bound(originals, eb).astype(
+                    np.float64
+                )
+            pflat[base] = recon
 
     unpredictable = (
         np.concatenate(unpred_chunks)
@@ -144,6 +187,23 @@ def wavefront_decompress(
     out_dtype: np.dtype,
 ) -> np.ndarray:
     """Replay prediction from codes; inverse of :func:`wavefront_compress`."""
+    n_out = 1
+    for s in plan.shape:
+        n_out *= s
+    with stage("dequantize", nbytes=n_out * np.dtype(out_dtype).itemsize):
+        return _wavefront_decompress(
+            codes, unpred_recon, plan, eb, radius, out_dtype
+        )
+
+
+def _wavefront_decompress(
+    codes: np.ndarray,
+    unpred_recon: np.ndarray,
+    plan: WavefrontPlan,
+    eb: float,
+    radius: int,
+    out_dtype: np.dtype,
+) -> np.ndarray:
     if len(plan.shape) == 1:
         return _decompress_1d(
             codes, unpred_recon, plan.shape[0], plan.n, eb, radius, out_dtype
@@ -153,14 +213,18 @@ def wavefront_decompress(
     coeffs, deltas, pad_flat = plan.coeffs, plan.deltas, plan.pad_flat
     unpred_recon64 = unpred_recon.astype(np.float64)
     upos = 0
+    two_eb = 2.0 * eb
     for start, end in plan.groups:
         base = pad_flat[start:end]
         g_codes = codes[start:end]
+        # Single gather + ordered accumulation: bit-identical to the
+        # per-arm formulation (and to the compressor's prediction chain).
+        neighbours = pflat[base - deltas[:, None]]
         pred = np.zeros(end - start, dtype=np.float64)
-        for c, dlt in zip(coeffs, deltas):
-            pred += c * pflat[base - dlt]
+        for k in range(len(coeffs)):
+            pred += coeffs[k] * neighbours[k]
         qoff = g_codes.astype(np.float64) - radius
-        recon = (pred + qoff * (2.0 * eb)).astype(out_dtype).astype(np.float64)
+        recon = (pred + qoff * two_eb).astype(out_dtype).astype(np.float64)
         miss = g_codes == UNPREDICTABLE
         nmiss = int(miss.sum())
         if nmiss:

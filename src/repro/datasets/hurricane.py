@@ -32,8 +32,6 @@ def hurricane_dataset(
     z = np.linspace(0, 1, nz)[:, None, None]
     y = np.linspace(-1, 1, ny)[None, :, None]
     x = np.linspace(-1, 1, nx)[None, None, :]
-    rng = np.random.default_rng(seed)
-
     # eye drifts slightly with height (vortex tilt)
     cx = 0.08 * z * np.cos(3 * z)
     cy = 0.08 * z * np.sin(3 * z)

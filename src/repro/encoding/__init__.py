@@ -3,8 +3,9 @@
 Modules
 -------
 bitio
-    Scalar ``BitWriter``/``BitReader`` plus vectorized variable-length bit
-    packing built on NumPy.
+    ``BitWriter``/``BitReader`` field accumulators plus vectorized
+    variable-length bit packing built on NumPy (``ScalarBitWriter`` is
+    the retained byte-at-a-time reference).
 ragged
     Index arithmetic for ragged (variable-length per segment) arrays.
 huffman
@@ -22,6 +23,8 @@ deflate
 from repro.encoding.bitio import (
     BitReader,
     BitWriter,
+    ScalarBitWriter,
+    byte_windows64,
     pack_varlen,
     read_bits_at,
     unpack_varlen,
@@ -32,6 +35,8 @@ __all__ = [
     "BitReader",
     "BitWriter",
     "HuffmanCodec",
+    "ScalarBitWriter",
+    "byte_windows64",
     "pack_varlen",
     "read_bits_at",
     "unpack_varlen",

@@ -2,9 +2,12 @@
 
 Two families live here:
 
-* ``BitWriter`` / ``BitReader`` — scalar, append-one-field-at-a-time
-  accumulators.  They are the *reference* implementation used for headers
-  and for cross-checking the vectorized paths in the test suite.
+* ``BitWriter`` / ``BitReader`` — append-one-field-at-a-time accumulators
+  for headers and table descriptions.  ``BitWriter`` buffers fields as a
+  token list and materializes the stream with one vectorized
+  :func:`pack_varlen` call in :meth:`BitWriter.getvalue`; the original
+  byte-at-a-time implementation is kept as :class:`ScalarBitWriter`, the
+  cross-checked reference.
 * ``pack_varlen`` / ``unpack_varlen`` / ``read_bits_at`` — NumPy-vectorized
   bulk primitives.  All variable-length coders in :mod:`repro.encoding`
   (Huffman, Rice, DEFLATE) and the ZFP-like bit-plane coder are built on
@@ -12,7 +15,9 @@ Two families live here:
 
 Bit order is MSB-first within the stream: the first bit written becomes the
 most significant bit of the first byte.  All vectorized routines agree with
-the scalar ones bit-for-bit (tested).
+the scalar ones bit-for-bit (tested); the fast paths (`_pack_via_windows`,
+`_unpack_via_windows`) and the bit-plane reference paths produce
+byte-identical streams, which the golden-blob fixtures pin end to end.
 """
 
 from __future__ import annotations
@@ -21,12 +26,14 @@ import numpy as np
 
 __all__ = [
     "BitWriter",
+    "ScalarBitWriter",
     "BitReader",
     "pack_varlen",
     "unpack_varlen",
     "read_bits_at",
     "bits_to_bytes",
     "bytes_to_bits",
+    "byte_windows64",
 ]
 
 _MAX_FIELD_BITS = 57
@@ -34,19 +41,123 @@ _MAX_FIELD_BITS = 57
 
 
 class BitWriter:
-    """Accumulate an MSB-first bitstream one field at a time.
+    """Accumulate an MSB-first bitstream one field (or array) at a time.
 
-    Intended for small metadata (headers, Huffman table descriptions) and as
-    a reference implementation; bulk data should use :func:`pack_varlen`.
+    Fields are buffered as tokens and packed in a single vectorized pass
+    on :meth:`getvalue`, so interleaving many small :meth:`write` calls
+    with bulk :meth:`write_array` appends stays cheap.  Produces byte
+    streams identical to :class:`ScalarBitWriter` (tested).
     """
 
     def __init__(self) -> None:
-        self._chunks: list[np.ndarray] = []
+        # Parallel segment lists; scalar tokens are Python ints, bulk
+        # appends are ndarray segments.  Flattened once in getvalue().
+        self._vals: list = []
+        self._lens: list = []
+        self._nbits = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low ``nbits`` bits of ``value`` (MSB first)."""
+        if nbits < 0:
+            raise ValueError(f"nbits must be >= 0, got {nbits}")
+        if nbits == 0:
+            return
+        value = int(value)
+        if value < 0 or value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._nbits += nbits
+        while nbits > 64:  # pack_varlen fields cap at 64 bits; split MSB-first
+            take = nbits - 64 if nbits <= 128 else 64
+            self._vals.append(value >> (nbits - take))
+            self._lens.append(take)
+            value &= (1 << (nbits - take)) - 1
+            nbits -= take
+        self._vals.append(value)
+        self._lens.append(nbits)
+
+    def write_array(self, values: np.ndarray, lengths: np.ndarray) -> None:
+        """Bulk-append ``values[i]`` as ``lengths[i]``-bit fields.
+
+        Like repeated :meth:`write` calls: values are validated against
+        their widths eagerly and snapshotted (the stream materializes in
+        :meth:`getvalue`, so later mutation of the caller's array must
+        not change what was appended).
+        """
+        values = np.asarray(values).astype(np.uint64, copy=True).ravel()
+        lengths = np.asarray(lengths, dtype=np.int64).ravel()
+        if values.shape != lengths.shape:
+            raise ValueError("values and lengths must have identical shapes")
+        if values.size == 0:
+            return
+        if int(lengths.min()) < 0 or int(lengths.max()) > 64:
+            raise ValueError("lengths must be within [0, 64]")
+        # Same contract as write(): a value wider than its field is an
+        # error, not a silent truncation.  (Shift by 63 max — 64-bit
+        # fields always fit; zero-width fields are no-ops like write(v, 0).)
+        over = values >> np.minimum(lengths, 63).astype(np.uint64)
+        over[(lengths == 64) | (lengths == 0)] = 0
+        if over.any():
+            bad = int(np.flatnonzero(over)[0])
+            raise ValueError(
+                f"value {int(values[bad])} does not fit in "
+                f"{int(lengths[bad])} bits"
+            )
+        self._vals.append(values)
+        self._lens.append(lengths)
+        self._nbits += int(lengths.sum())
+
+    def write_bits(self, bits: np.ndarray) -> None:
+        """Append a 0/1 array as individual bits."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        self.write_array(bits, np.ones(bits.size, dtype=np.int64))
+
+    @property
+    def bit_length(self) -> int:
+        return self._nbits
+
+    def _flatten(self) -> tuple[np.ndarray, np.ndarray]:
+        vals: list[np.ndarray] = []
+        lens: list[np.ndarray] = []
+        scalar_v: list[int] = []
+        scalar_l: list[int] = []
+        for v, n in zip(self._vals, self._lens):
+            if isinstance(v, np.ndarray):
+                if scalar_v:
+                    vals.append(np.array(scalar_v, dtype=np.uint64))
+                    lens.append(np.array(scalar_l, dtype=np.int64))
+                    scalar_v, scalar_l = [], []
+                vals.append(v)
+                lens.append(n)
+            else:
+                scalar_v.append(v)
+                scalar_l.append(n)
+        if scalar_v:
+            vals.append(np.array(scalar_v, dtype=np.uint64))
+            lens.append(np.array(scalar_l, dtype=np.int64))
+        if not vals:
+            return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+        return np.concatenate(vals), np.concatenate(lens)
+
+    def getvalue(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary."""
+        values, lengths = self._flatten()
+        buf, _ = pack_varlen(values, lengths)
+        return buf.tobytes()
+
+
+class ScalarBitWriter:
+    """Byte-at-a-time reference writer (the original ``BitWriter``).
+
+    Kept for cross-checking the token-list :class:`BitWriter` and the
+    vectorized packers bit-for-bit in the test suite.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[int] = []
         self._acc = 0
         self._nacc = 0
 
     def write(self, value: int, nbits: int) -> None:
-        """Append the low ``nbits`` bits of ``value`` (MSB first)."""
         if nbits < 0:
             raise ValueError(f"nbits must be >= 0, got {nbits}")
         if nbits == 0:
@@ -58,13 +169,10 @@ class BitWriter:
         self._nacc += nbits
         while self._nacc >= 8:
             self._nacc -= 8
-            self._chunks.append(
-                np.uint8((self._acc >> self._nacc) & 0xFF).reshape(())
-            )
+            self._chunks.append((self._acc >> self._nacc) & 0xFF)
             self._acc &= (1 << self._nacc) - 1
 
     def write_bits(self, bits: np.ndarray) -> None:
-        """Append a 0/1 array as individual bits."""
         for b in np.asarray(bits, dtype=np.uint8):
             self.write(int(b), 1)
 
@@ -73,8 +181,7 @@ class BitWriter:
         return len(self._chunks) * 8 + self._nacc
 
     def getvalue(self) -> bytes:
-        """Return the stream padded with zero bits to a byte boundary."""
-        out = bytearray(int(c) for c in self._chunks)
+        out = bytearray(self._chunks)
         if self._nacc:
             out.append((self._acc << (8 - self._nacc)) & 0xFF)
         return bytes(out)
@@ -94,6 +201,11 @@ class BitReader:
     @property
     def bits_remaining(self) -> int:
         return len(self._buf) * 8 - self._pos
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying byte buffer (for batch readers layered on top)."""
+        return self._buf
 
     def read(self, nbits: int) -> int:
         """Read ``nbits`` bits and return them as an unsigned int."""
@@ -140,7 +252,27 @@ def bytes_to_bits(buf: bytes | np.ndarray, nbits: int | None = None) -> np.ndarr
     return bits
 
 
-def pack_varlen(values: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, int]:
+def byte_windows64(buf: bytes | np.ndarray) -> np.ndarray:
+    """Big-endian 8-byte windows at every byte offset of ``buf``.
+
+    ``byte_windows64(buf)[k]`` holds bytes ``buf[k : k + 8]`` (zero padded
+    past the end) as one uint64 — bit ``8 * k`` of the stream is the
+    window's most significant bit.  One upfront pass turns every later
+    "read n bits at position p" into a gather + shift, which is what the
+    block-parallel Huffman decoder iterates on.
+    """
+    buf = np.asarray(buf, dtype=np.uint8) if not isinstance(buf, np.ndarray) \
+        else buf
+    if buf.dtype != np.uint8:
+        buf = buf.astype(np.uint8)
+    padded = np.concatenate([buf.ravel(), np.zeros(8, dtype=np.uint8)])
+    windows = np.lib.stride_tricks.sliding_window_view(padded, 8)[: buf.size + 1]
+    return windows.copy().view(">u8").ravel().astype(np.uint64)
+
+
+def pack_varlen(
+    values: np.ndarray, lengths: np.ndarray, masked: bool = False
+) -> tuple[np.ndarray, int]:
     """Pack ``values[i]`` into ``lengths[i]`` bits each, MSB-first, contiguous.
 
     Parameters
@@ -151,6 +283,11 @@ def pack_varlen(values: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, in
     lengths
         Per-value bit widths in ``[0, 64]``.  Zero-length fields are legal
         and contribute no bits.
+    masked
+        Caller's promise that every value already fits its declared width
+        (``values[i] >> lengths[i] == 0``), letting the fast path skip
+        the masking pass.  Canonical Huffman codes satisfy this by
+        construction.
 
     Returns
     -------
@@ -160,9 +297,12 @@ def pack_varlen(values: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, in
 
     Notes
     -----
-    Runs in ``O(max(lengths))`` vectorized passes — one pass per bit
-    position — which is the cache-friendly formulation recommended for
-    NumPy (vectorize the inner loop, keep the short loop outside).
+    Three byte-identical strategies, picked by the length profile: a
+    ``np.packbits`` bit matrix for uniform widths, an 8-byte-window
+    OR-scatter for mixed widths up to 57 bits (O(1) vectorized passes),
+    and the original one-pass-per-bit-position formulation
+    (:func:`_pack_varlen_bitplane`, the reference) for the rare mixed
+    streams containing 58–64-bit fields.
     """
     values = np.asarray(values).astype(np.uint64, copy=False)
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -182,8 +322,136 @@ def pack_varlen(values: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, in
         shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
         bits = ((values[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
         return np.packbits(bits.ravel()), total
-    # Variable width: presort by descending length so pass ``b`` touches a
-    # contiguous prefix (total work ~ sum(lengths), not max_len * n).
+    if max_len <= _MAX_FIELD_BITS:
+        return _pack_via_windows(values.ravel(), lengths.ravel(), total, masked)
+    return _pack_varlen_bitplane(values, lengths, total, max_len)
+
+
+def _pack_via_windows(
+    values: np.ndarray, lengths: np.ndarray, total: int, masked: bool = False
+) -> tuple[np.ndarray, int]:
+    """Mixed-width fast path: one 8-byte OR-window per (merged) field.
+
+    Two stages, both byte-identical to the bit-plane reference:
+
+    1. *Pairwise fold* (:func:`_fold_pairs`): adjacent fields that still
+       fit a 57-bit window concatenate exactly, so a 4-bit-average
+       Huffman stream shrinks 2-16x before any bit placement happens.
+    2. *Window scatter*: a field of ``l <= 57`` bits starting at bit
+       ``s`` lies entirely inside the 8-byte window at byte ``s >> 3``
+       (worst case ``57 + 7 = 64`` bits), which in turn straddles at
+       most two *aligned* uint64 words of the output.  Left-align each
+       field in its window, split the window into its two aligned-word
+       contributions, OR together contributions landing in the same
+       word (``np.bitwise_or.reduceat`` — window starts are sorted), and
+       scatter the per-word results conflict-free.
+    """
+    # Fold rounds and bit placement run entirely in uint64 (lengths
+    # included) — mixing int64 shift operands would force a cast pass per
+    # round.
+    lens = lengths.astype(np.uint64)
+    if masked:
+        vals = values
+    else:
+        # Mask to the declared widths first: high garbage bits must not
+        # leak into a neighbouring field once pairs are folded together.
+        mask = (np.uint64(1) << lens) - np.uint64(1)  # l <= 57: no UB
+        vals = values & mask
+    for _ in range(4):  # n/16 fields is plenty; stop early when folding stalls
+        if lens.size < 2:
+            break
+        folded = _fold_pairs(vals, lens)
+        if folded is None:
+            break
+        vals, lens = folded
+    starts = np.zeros(vals.size, dtype=np.uint64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    skew = starts & np.uint64(7)
+    # Shift amount 64 - l - skew is <= 63 whenever l > 0; l == 0 fields
+    # are already zero so their (undefined) shift result never lands.
+    shift = np.uint64(64) - lens - skew
+    windows = vals << shift
+    byte0 = starts >> np.uint64(3)
+    # Split each 8-byte window (at byte offset b) into its two aligned
+    # uint64 words: the high part lands in word b >> 3 shifted right by
+    # the intra-word byte offset, the spill-over in the next word.
+    word = byte0 >> np.uint64(3)
+    s8 = (byte0 & np.uint64(7)) << np.uint64(3)
+    hi = windows >> s8
+    # (w << 1) << (63 - s8) == w << (64 - s8) without the undefined
+    # 64-bit shift at s8 == 0 (where the spill-over must be zero).
+    lo = np.where(
+        s8 > 0,
+        (windows << np.uint64(1)) << (np.uint64(63) - s8),
+        np.uint64(0),
+    )
+    group_start = np.flatnonzero(
+        np.concatenate(([True], word[1:] != word[:-1]))
+    )
+    words_u = word[group_start]
+    nbytes = (total + 7) // 8
+    out64 = np.zeros((nbytes >> 3) + 2, dtype=np.uint64)
+    out64[words_u] = np.bitwise_or.reduceat(hi, group_start)
+    out64[words_u + 1] |= np.bitwise_or.reduceat(lo, group_start)
+    return out64.astype(">u8").view(np.uint8)[:nbytes], total
+
+
+def _fold_pairs(
+    vals: np.ndarray, lens: np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Concatenate adjacent field pairs that still fit a 57-bit window.
+
+    ``(v0 << l1) | v1`` with width ``l0 + l1`` is exactly the bit
+    concatenation of the two fields, so folding leaves the packed stream
+    unchanged while halving the number of fields downstream passes touch.
+    Pairs wider than 57 bits pass through unfolded (two entries), which
+    keeps folding productive even when rare long codes are scattered
+    through an otherwise short-field stream.  Returns ``None`` when too
+    few pairs fit for a fold round to pay for itself.
+    """
+    if lens.size & 1:
+        # A zero-width sentinel merges as a no-op.
+        vals = np.concatenate([vals, np.zeros(1, dtype=np.uint64)])
+        lens = np.concatenate([lens, np.zeros(1, dtype=np.uint64)])
+    v0, v1 = vals[0::2], vals[1::2]
+    l0, l1 = lens[0::2], lens[1::2]
+    sum01 = l0 + l1
+    fit = sum01 <= np.uint64(_MAX_FIELD_BITS)
+    if fit.all():
+        return (v0 << l1) | v1, sum01
+    if np.count_nonzero(fit) < fit.size // 2:
+        return None
+    # Ragged output: folded pairs take one slot, stragglers keep two.
+    out_pos = np.zeros(fit.size, dtype=np.int64)
+    np.cumsum(2 - fit[:-1], out=out_pos[1:])
+    n_new = int(out_pos[-1]) + 2 - int(fit[-1])
+    new_vals = np.zeros(n_new, dtype=np.uint64)
+    new_lens = np.zeros(n_new, dtype=np.uint64)
+    pos_f = out_pos[fit]
+    new_vals[pos_f] = (v0[fit] << l1[fit]) | v1[fit]
+    new_lens[pos_f] = sum01[fit]
+    unfit = ~fit
+    pos_u = out_pos[unfit]
+    new_vals[pos_u] = v0[unfit]
+    new_lens[pos_u] = l0[unfit]
+    new_vals[pos_u + 1] = v1[unfit]
+    new_lens[pos_u + 1] = l1[unfit]
+    return new_vals, new_lens
+
+
+def _pack_varlen_bitplane(
+    values: np.ndarray,
+    lengths: np.ndarray,
+    total: int,
+    max_len: int,
+) -> tuple[np.ndarray, int]:
+    """Reference mixed-width path: one vectorized pass per bit position.
+
+    Presorts by descending length so pass ``b`` touches a contiguous
+    prefix (total work ~ ``sum(lengths)``, not ``max_len * n``).  Kept
+    as the cross-checked reference for :func:`_pack_via_windows` and the
+    only path for mixed streams with 58–64-bit fields.
+    """
     order = np.argsort(-lengths, kind="stable")
     vals_p = values[order]
     lens_p = lengths[order]
@@ -230,18 +498,60 @@ def unpack_varlen(
     if min_len < 0 or max_len > 64:
         raise ValueError("lengths must be within [0, 64]")
     total = int(lengths.sum())
-    bits = bytes_to_bits(buf)
-    if bit_offset + total > bits.size:
-        raise EOFError(
-            f"need {total} bits at offset {bit_offset}, buffer holds {bits.size}"
-        )
-    bits = bits[bit_offset : bit_offset + total]
     if max_len == 0:
         return np.zeros(lengths.shape, dtype=np.uint64)
+    buf_arr = (
+        buf if isinstance(buf, np.ndarray) else np.frombuffer(buf, np.uint8)
+    )
+    buf_arr = buf_arr.astype(np.uint8, copy=False).ravel()
+    if bit_offset + total > buf_arr.size * 8:
+        raise EOFError(
+            f"need {total} bits at offset {bit_offset}, "
+            f"buffer holds {buf_arr.size * 8}"
+        )
     if min_len == max_len:
+        bits = np.unpackbits(buf_arr)[bit_offset : bit_offset + total]
         mat = bits.reshape(-1, max_len).astype(np.uint64)
         shifts = np.arange(max_len - 1, -1, -1, dtype=np.uint64)
         return (mat << shifts).sum(axis=1, dtype=np.uint64)
+    if max_len <= _MAX_FIELD_BITS:
+        return _unpack_via_windows(buf_arr, lengths, bit_offset, total)
+    return _unpack_varlen_bitplane(buf_arr, lengths, bit_offset, total, max_len)
+
+
+def _unpack_via_windows(
+    buf: np.ndarray, lengths: np.ndarray, bit_offset: int, total: int
+) -> np.ndarray:
+    """Mixed-width fast path: gather one 8-byte window per value."""
+    lengths_flat = lengths.ravel()
+    lengths_u = lengths_flat.astype(np.uint64)
+    starts = np.full(lengths_flat.size, bit_offset, dtype=np.int64)
+    np.cumsum(lengths_flat[:-1], out=starts[1:])
+    starts[1:] += bit_offset
+    byte0 = starts >> 3
+    padded = np.concatenate([buf, np.zeros(8, dtype=np.uint8)])
+    window = np.zeros(lengths_flat.size, dtype=np.uint64)
+    for i in range(8):
+        window = (window << np.uint64(8)) | padded[byte0 + i].astype(np.uint64)
+    skew = (starts & 7).astype(np.uint64)
+    mask = np.where(
+        lengths_u > 0,
+        (np.uint64(1) << lengths_u) - np.uint64(1),
+        np.uint64(0),
+    )
+    values = (window >> (np.uint64(64) - lengths_u - skew)) & mask
+    return values.reshape(lengths.shape)
+
+
+def _unpack_varlen_bitplane(
+    buf: np.ndarray,
+    lengths: np.ndarray,
+    bit_offset: int,
+    total: int,
+    max_len: int,
+) -> np.ndarray:
+    """Reference mixed-width unpack: one pass per bit position."""
+    bits = np.unpackbits(buf)[bit_offset : bit_offset + total]
     order = np.argsort(-lengths, kind="stable")
     lens_p = lengths[order]
     starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))

@@ -29,14 +29,19 @@ import numpy as np
 from repro.encoding.bitio import (
     BitReader,
     BitWriter,
+    byte_windows64,
     pack_varlen,
-    read_bits_at,
 )
+from repro.perf import stage
 
 __all__ = ["HuffmanCodec", "EncodedStream", "huffman_code_lengths"]
 
 _PRIMARY_BITS = 13
 _DEFAULT_BLOCK = 4096
+_WINDOW_MATERIALIZE_LIMIT = 64 << 20
+"""Payloads up to this many bytes decode against a precomputed 8-byte
+window array (8x payload RAM, ~3x faster rounds); larger ones gather
+windows per round to keep peak memory bounded."""
 
 
 def huffman_code_lengths(
@@ -124,9 +129,9 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     bl_count = np.bincount(lengths[present], minlength=max_len + 1)
     next_code = np.zeros(max_len + 1, dtype=np.uint64)
     code = 0
-    for l in range(1, max_len + 1):
-        code = (code + int(bl_count[l - 1])) << 1
-        next_code[l] = code
+    for length in range(1, max_len + 1):
+        code = (code + int(bl_count[length - 1])) << 1
+        next_code[length] = code
     # Symbols sorted by (length, symbol) receive consecutive codes within
     # each length class.
     order = present[np.lexsort((present, lengths[present]))]
@@ -153,27 +158,39 @@ class EncodedStream:
         return int(self.block_bits.sum())
 
     def to_bytes(self) -> bytes:
-        w = BitWriter()
-        w.write(self.n_symbols, 48)
-        w.write(self.block_size, 32)
-        w.write(len(self.payload), 48)
-        for b in self.block_bits:
-            w.write(int(b), 40)
-        return w.getvalue() + self.payload.tobytes()
+        # Every field is a whole number of bytes (48 + 32 + 48 header bits,
+        # 40 bits per block index entry), so the stream serializes as plain
+        # big-endian byte runs — no bit packing needed.  Byte-identical to
+        # the original BitWriter formulation (golden blobs pin this).
+        head = (
+            self.n_symbols.to_bytes(6, "big")
+            + self.block_size.to_bytes(4, "big")
+            + len(self.payload).to_bytes(6, "big")
+        )
+        index = (
+            self.block_bits.astype(">u8").view(np.uint8).reshape(-1, 8)[:, 3:]
+        )
+        return head + index.tobytes() + self.payload.tobytes()
 
     @classmethod
     def from_bytes(cls, buf: bytes) -> "EncodedStream":
-        r = BitReader(buf)
-        n_symbols = r.read(48)
-        block_size = r.read(32)
-        payload_len = r.read(48)
+        if len(buf) < 16:
+            raise EOFError("truncated EncodedStream header")
+        n_symbols = int.from_bytes(buf[0:6], "big")
+        block_size = int.from_bytes(buf[6:10], "big")
+        payload_len = int.from_bytes(buf[10:16], "big")
         nblocks = (
             0 if n_symbols == 0 else -(-n_symbols // block_size)
         )
-        block_bits = np.array(
-            [r.read(40) for _ in range(nblocks)], dtype=np.uint64
-        )
-        header_bytes = (r.bitpos + 7) // 8
+        if len(buf) < 16 + 5 * nblocks:
+            raise EOFError("truncated EncodedStream block index")
+        index = np.frombuffer(
+            buf, dtype=np.uint8, count=5 * nblocks, offset=16
+        ).reshape(-1, 5)
+        widened = np.zeros((nblocks, 8), dtype=np.uint8)
+        widened[:, 3:] = index
+        block_bits = widened.view(">u8").ravel().astype(np.uint64)
+        header_bytes = 16 + 5 * nblocks
         payload = np.frombuffer(
             buf, dtype=np.uint8, count=payload_len, offset=header_bytes
         )
@@ -245,7 +262,45 @@ class HuffmanCodec:
             '1'  + 6-bit len              one symbol of this length
             '01' + 16-bit n               run of n absent symbols (len 0)
             '00' + 6-bit len + 12-bit n   run of n symbols, same length
+
+        Tokens are built as value/width arrays in one vectorized pass
+        (each token is a single multi-field integer — concatenating the
+        fields MSB-first is associative) and bulk-appended, so a 65537
+        symbol table costs a handful of NumPy calls instead of a
+        per-symbol Python loop.  Byte-identical to
+        :meth:`write_table_scalar` (tested).
         """
+        w.write(self.alphabet_size, 32)
+        lengths = self.lengths
+        if lengths.size == 0:
+            return
+        # Run-length boundaries, then split runs into grammar-capped chunks.
+        edges = np.flatnonzero(
+            np.concatenate(([True], lengths[1:] != lengths[:-1]))
+        )
+        run_vals = lengths[edges]
+        run_lens = np.diff(np.concatenate((edges, [lengths.size])))
+        caps = np.where(run_vals == 0, (1 << 16) - 1, (1 << 12) - 1)
+        nchunks = -(-run_lens // caps)
+        owner = np.repeat(np.arange(run_vals.size), nchunks)
+        sizes = caps[owner].copy()
+        last = np.cumsum(nchunks) - 1
+        sizes[last] = run_lens - (nchunks - 1) * caps
+        vals = run_vals[owner]
+        tok_vals = np.where(
+            vals == 0,
+            (0b01 << 16) | sizes,  # '01' + 16-bit zero-run count
+            np.where(
+                sizes == 1,
+                (0b1 << 6) | vals,  # '1' + 6-bit length
+                (vals << 12) | sizes,  # '00' + 6-bit length + 12-bit count
+            ),
+        )
+        tok_bits = np.where(vals == 0, 18, np.where(sizes == 1, 7, 20))
+        w.write_array(tok_vals.astype(np.uint64), tok_bits)
+
+    def write_table_scalar(self, w: BitWriter) -> None:
+        """Per-run scalar reference for :meth:`write_table` (cross-checked)."""
         w.write(self.alphabet_size, 32)
         lengths = self.lengths
         i = 0
@@ -282,13 +337,72 @@ class HuffmanCodec:
 
     @classmethod
     def read_table(cls, r: BitReader) -> "HuffmanCodec":
+        """Parse a length table (inverse of :meth:`write_table`).
+
+        Reads whole 20-bit token windows from a precomputed 8-byte
+        window array (:func:`repro.encoding.bitio.byte_windows64`)
+        instead of three ``BitReader.read`` calls per token — the
+        per-symbol loop this replaces dominated table parsing for
+        16-bit alphabets.  Behaviour matches
+        :meth:`read_table_scalar` exactly, corrupt inputs included
+        (same bits are visible to both parsers).
+        """
         alphabet = r.read(32)
         if alphabet > cls.MAX_ALPHABET:
             raise ValueError(
                 f"alphabet size {alphabet} exceeds limit (corrupt table?)"
             )
         lengths = np.zeros(alphabet, dtype=np.int64)
+        buf = r.data
+        end_bits = buf.size * 8
+        pos = r.bitpos
+        # Window only the table region (a valid table is at most ~20 bits
+        # per token), extending on demand, so parsing never materializes
+        # 8x the whole container.
+        win_base = pos >> 3
+        win_len = min(buf.size - win_base, ((20 * (alphabet + 2)) >> 3) + 16)
+        windows = byte_windows64(buf[win_base : win_base + win_len])
         i = 0
+        while i < alphabet:
+            if pos + 7 > end_bits:  # shortest token is 7 bits
+                # Delegate the ragged tail to the scalar reader so EOF
+                # behaviour (message and position) matches it exactly.
+                r.seek(pos)
+                return cls._read_table_tail(r, lengths, i, alphabet)
+            rel = (pos >> 3) - win_base
+            if rel + 8 > win_len and win_base + win_len < buf.size:
+                win_len = min(buf.size - win_base, 2 * win_len + 16)
+                windows = byte_windows64(buf[win_base : win_base + win_len])
+            w = int(windows[rel]) >> (44 - (pos & 7))  # 20-bit window
+            if w & 0x80000:  # '1' + 6-bit length
+                lengths[i] = (w >> 13) & 0x3F
+                i += 1
+                pos += 7
+            elif w & 0x40000:  # '01' + 16-bit zero-run
+                if pos + 18 > end_bits:
+                    r.seek(pos)
+                    return cls._read_table_tail(r, lengths, i, alphabet)
+                i += (w >> 2) & 0xFFFF
+                pos += 18
+            else:  # '00' + 6-bit length + 12-bit run
+                if pos + 20 > end_bits:
+                    r.seek(pos)
+                    return cls._read_table_tail(r, lengths, i, alphabet)
+                val = (w >> 12) & 0x3F
+                run = w & 0xFFF
+                lengths[i : i + run] = val
+                i += run
+                pos += 20
+        r.seek(pos)
+        if i != alphabet:
+            raise ValueError("corrupt Huffman table: token overrun")
+        return cls(lengths)
+
+    @classmethod
+    def _read_table_tail(
+        cls, r: BitReader, lengths: np.ndarray, i: int, alphabet: int
+    ) -> "HuffmanCodec":
+        """Finish a table parse near the buffer end with scalar reads."""
         while i < alphabet:
             if r.read(1):
                 lengths[i] = r.read(6)
@@ -304,32 +418,57 @@ class HuffmanCodec:
             raise ValueError("corrupt Huffman table: token overrun")
         return cls(lengths)
 
+    @classmethod
+    def read_table_scalar(cls, r: BitReader) -> "HuffmanCodec":
+        """Per-token scalar reference for :meth:`read_table` (cross-checked)."""
+        alphabet = r.read(32)
+        if alphabet > cls.MAX_ALPHABET:
+            raise ValueError(
+                f"alphabet size {alphabet} exceeds limit (corrupt table?)"
+            )
+        lengths = np.zeros(alphabet, dtype=np.int64)
+        return cls._read_table_tail(r, lengths, 0, alphabet)
+
     # -- encoding --------------------------------------------------------
 
     def encode(
-        self, symbols: np.ndarray, block_size: int = _DEFAULT_BLOCK
+        self,
+        symbols: np.ndarray,
+        block_size: int = _DEFAULT_BLOCK,
+        validate: bool = True,
     ) -> EncodedStream:
-        """Encode a symbol array into a blocked canonical-Huffman stream."""
+        """Encode a symbol array into a blocked canonical-Huffman stream.
+
+        ``validate=False`` skips the range/zero-frequency scans for
+        callers that construct the codec from the very histogram of
+        ``symbols`` (every appearing symbol then has a codeword by
+        construction).
+        """
         symbols = np.asarray(symbols, dtype=np.int64).ravel()
-        if symbols.size and (
-            symbols.min() < 0 or symbols.max() >= self.alphabet_size
-        ):
-            raise ValueError("symbol out of alphabet range")
-        lens = self.lengths[symbols]
-        if symbols.size and lens.min() == 0:
-            raise ValueError("symbol with no codeword (zero frequency) seen")
-        vals = self.codes[symbols]
-        # One vectorized pack over the whole stream; blocks are bit-offset
-        # ranges within it (cursors may start mid-byte — read_bits_at copes).
-        payload, _ = pack_varlen(vals, lens)
-        nblocks = 0 if symbols.size == 0 else -(-symbols.size // block_size)
-        if nblocks:
-            block_bits = np.add.reduceat(
-                lens, np.arange(0, symbols.size, block_size)
-            ).astype(np.uint64)
-        else:
-            block_bits = np.zeros(0, dtype=np.uint64)
-        return EncodedStream(symbols.size, block_size, block_bits, payload)
+        with stage("huffman_encode", nbytes=symbols.nbytes):
+            if validate and symbols.size and (
+                symbols.min() < 0 or symbols.max() >= self.alphabet_size
+            ):
+                raise ValueError("symbol out of alphabet range")
+            lens = self.lengths[symbols]
+            if validate and symbols.size and lens.min() == 0:
+                raise ValueError(
+                    "symbol with no codeword (zero frequency) seen"
+                )
+            vals = self.codes[symbols]
+            # One vectorized pack over the whole stream; blocks are
+            # bit-offset ranges within it (cursors may start mid-byte —
+            # the windowed decoder copes).  Canonical codes fit their
+            # lengths exactly, so the pack can skip its masking pass.
+            payload, _ = pack_varlen(vals, lens, masked=True)
+            nblocks = 0 if symbols.size == 0 else -(-symbols.size // block_size)
+            if nblocks:
+                block_bits = np.add.reduceat(
+                    lens, np.arange(0, symbols.size, block_size)
+                ).astype(np.uint64)
+            else:
+                block_bits = np.zeros(0, dtype=np.uint64)
+            return EncodedStream(symbols.size, block_size, block_bits, payload)
 
     # -- decoding --------------------------------------------------------
 
@@ -374,6 +513,19 @@ class HuffmanCodec:
 
     def decode(self, stream: EncodedStream) -> np.ndarray:
         """Block-parallel vectorized decode of an :class:`EncodedStream`."""
+        with stage("huffman_decode", nbytes=int(stream.payload.nbytes)):
+            return self._decode_impl(stream)
+
+    def _decode_impl(self, stream: EncodedStream) -> np.ndarray:
+        # Round ``r`` decodes symbol ``r`` of every still-active block.
+        # Two standing optimizations over the textbook formulation:
+        #
+        # * the payload's 8-byte windows are materialized once
+        #   (``byte_windows64``), so each round is a gather + shift
+        #   instead of an 8-pass window rebuild;
+        # * only the *last* block can be short, so the active set is
+        #   always a prefix of the block arrays — no per-round
+        #   ``flatnonzero``.
         n = stream.n_symbols
         out = np.zeros(n, dtype=np.int64)
         if n == 0:
@@ -382,37 +534,55 @@ class HuffmanCodec:
             self._build_decode_tables()
         )
         max_len = max(self.max_len, 1)
-        window_bits = min(57, max(max_len, primary_bits))
         nblocks = stream.block_bits.size
         cursors = np.zeros(nblocks, dtype=np.int64)
         np.cumsum(stream.block_bits[:-1].astype(np.int64), out=cursors[1:])
         end_bits = cursors + stream.block_bits.astype(np.int64)
-        counts = np.full(nblocks, stream.block_size, dtype=np.int64)
-        counts[-1] = n - stream.block_size * (nblocks - 1)
-        out_starts = np.zeros(nblocks, dtype=np.int64)
-        np.cumsum(counts[:-1], out=out_starts[1:])
+        last_count = n - stream.block_size * (nblocks - 1)
+        out_starts = np.arange(nblocks, dtype=np.int64) * stream.block_size
         payload = stream.payload
-        max_count = int(counts.max())
-        for r in range(max_count):
-            active = np.flatnonzero(counts > r)
-            window = read_bits_at(payload, cursors[active], window_bits)
-            idx = (window >> np.uint64(window_bits - primary_bits)).astype(
-                np.int64
-            )
+        # Materializing every 8-byte window costs 8x the payload in RAM —
+        # a clear win for the common (tiled / mid-size) case, but a
+        # multi-hundred-MB payload must fall back to gathering the
+        # windows per round instead.
+        materialize = payload.size <= _WINDOW_MATERIALIZE_LIMIT
+        if materialize:
+            windows = byte_windows64(payload)
+        else:
+            padded = np.concatenate([payload, np.zeros(8, dtype=np.uint8)])
+        max_byte = payload.size  # clamp: corrupt cursors must not escape
+        prim_shift = np.uint64(64 - primary_bits)
+        rem_shift = np.uint64(64 - max_len)
+        rem_mask = (1 << sub_depth) - 1
+        for r in range(stream.block_size):
+            na = nblocks if r < last_count else nblocks - 1
+            if na == 0:
+                break
+            cur = cursors[:na]
+            byte0 = np.minimum(cur >> 3, max_byte)
+            skew = (cur & 7).astype(np.uint64)
+            if materialize:
+                window = windows[byte0] << skew
+            else:
+                window = np.zeros(na, dtype=np.uint64)
+                for i in range(8):
+                    window = (window << np.uint64(8)) | padded[
+                        byte0 + i
+                    ].astype(np.uint64)
+                window <<= skew
+            idx = (window >> prim_shift).astype(np.int64)
             entry = primary[idx]
             long_mask = entry < 0
             if long_mask.any():
                 sub_idx = -entry[long_mask] - 1
-                rem = (
-                    window[long_mask] >> np.uint64(window_bits - max_len)
-                ).astype(np.int64) & ((1 << sub_depth) - 1)
+                rem = (window[long_mask] >> rem_shift).astype(
+                    np.int64
+                ) & rem_mask
                 entry[long_mask] = secondary[sub_base[sub_idx] + rem]
-            if (entry == 0).any():
+            if not entry.all():
                 raise ValueError("corrupt Huffman stream: invalid codeword")
-            sym = entry >> 6
-            length = entry & 63
-            out[out_starts[active] + r] = sym
-            cursors[active] += length
+            out[out_starts[:na] + r] = entry >> 6
+            cur += entry & 63
         if not np.array_equal(cursors, end_bits):
             raise ValueError("corrupt Huffman stream: block length mismatch")
         return out

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
-
 from repro.datasets import load
 from repro.experiments.common import Table
 from repro.parallel import BluesClusterModel

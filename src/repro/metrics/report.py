@@ -19,7 +19,6 @@ from repro.metrics.errors import (
     nrmse,
     psnr,
     rmse,
-    value_range,
 )
 from repro.metrics.rates import bit_rate, compression_factor, throughput_mb_s
 

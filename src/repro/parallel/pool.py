@@ -16,7 +16,6 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.core import compress as sz_compress
-from repro.core import decompress as sz_decompress
 
 __all__ = [
     "parallel_compress",

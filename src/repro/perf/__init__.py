@@ -1,0 +1,16 @@
+"""Performance substrate: stage instrumentation, bench runner, CI gate.
+
+* :mod:`repro.perf.timer` — :class:`StageTimer` and the :func:`stage`
+  hook the pipeline modules call around their hot sections (near-free
+  when no timer is active).
+* :mod:`repro.perf.bench` — ``python -m repro.perf.bench`` sweeps
+  {dtype x dims x mode} and writes the schema-versioned
+  ``BENCH_micro.json`` perf-trajectory point.
+* :mod:`repro.perf.gate` — ``python -m repro.perf.gate`` compares a
+  fresh run against the committed baseline and fails CI on a >1.5x
+  per-stage slowdown.
+"""
+
+from repro.perf.timer import StageRecord, StageTimer, active_timer, stage
+
+__all__ = ["StageRecord", "StageTimer", "active_timer", "stage"]

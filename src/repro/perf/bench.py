@@ -1,0 +1,326 @@
+"""Benchmark runner: sweep the compressor and emit ``BENCH_micro.json``.
+
+Runs ``{dtype} x {dims} x {mode}`` compression/decompression cases at a
+chosen size scale, aggregates medians over repeats, and writes a
+schema-versioned JSON report with machine info, git revision, end-to-end
+throughput and the per-stage breakdown collected by
+:mod:`repro.perf.timer`.  The committed ``BENCH_*.json`` files form the
+repo's performance trajectory; the CI gate (:mod:`repro.perf.gate`)
+compares a fresh run against ``benchmarks/baselines/bench_baseline.json``.
+
+Usage::
+
+    python -m repro.perf.bench --scale tiny --out BENCH_micro.json
+    repro-sz bench --scale small --repeats 5
+
+The sweep is deterministic: fields are seeded synthetics, so two runs on
+the same revision produce structurally identical reports (timings aside)
+— pinned by ``tests/test_perf.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from repro.perf.timer import StageTimer, _median
+
+__all__ = [
+    "SCHEMA",
+    "SCALES",
+    "bench_report",
+    "calibrate",
+    "main",
+    "synth_field",
+    "validate_report",
+]
+
+SCHEMA = "repro-bench/1"
+
+#: per-scale shapes, indexed by dimensionality
+SCALES: dict[str, dict[int, tuple[int, ...]]] = {
+    "tiny": {1: (4096,), 2: (48, 64), 3: (16, 24, 32)},
+    "small": {1: (65536,), 2: (384, 512), 3: (64, 96, 96)},
+    "large": {1: (1 << 20,), 2: (1536, 2048), 3: (128, 192, 256)},
+}
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+_DEFAULT_MODES = ("abs", "rel")
+_ALL_MODES = ("abs", "rel", "pw_rel", "psnr")
+
+
+def synth_field(shape: tuple[int, ...], dtype: str, seed: int = 0) -> np.ndarray:
+    """Deterministic smooth-plus-noise field mimicking simulation output."""
+    rng = np.random.default_rng(seed)
+    axes = [np.linspace(0.0, 4.0 * np.pi, s) for s in shape]
+    mesh = np.meshgrid(*axes, indexing="ij") if len(shape) > 1 else [axes[0]]
+    field = np.zeros(shape, dtype=np.float64)
+    for k, m in enumerate(mesh):
+        field += np.sin(m * (1.0 + 0.25 * k))
+    field += 0.01 * rng.standard_normal(shape)
+    return field.astype(_DTYPES[dtype])
+
+
+def _mode_kwargs(mode: str) -> dict:
+    """compress() arguments realizing one sweep mode."""
+    return {
+        "abs": {"mode": "abs", "bound": 1e-3},
+        "rel": {"mode": "rel", "bound": 1e-4},
+        "pw_rel": {"mode": "pw_rel", "bound": 1e-3},
+        "psnr": {"mode": "psnr", "bound": 84.0},
+    }[mode]
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Median seconds of a fixed NumPy workload — a machine-speed yardstick.
+
+    The CI gate divides stage times by this before comparing against the
+    committed baseline, so a slower/faster runner shifts both sides
+    equally instead of tripping the tolerance.
+    """
+    rng = np.random.default_rng(12345)
+    x = rng.standard_normal(1 << 21)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        y = np.cumsum(x)
+        y = np.sort(y[: 1 << 19])
+        float(y[0])
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _run_case(
+    name: str,
+    dtype: str,
+    shape: tuple[int, ...],
+    mode: str,
+    repeats: int,
+) -> dict:
+    from repro.core import compress, decompress
+
+    field = synth_field(shape, dtype, seed=len(shape))
+    kwargs = _mode_kwargs(mode)
+    # warm-up: plan caches, first-touch allocations
+    blob = compress(field, **kwargs)
+    decompress(blob)
+
+    c_times: list[float] = []
+    d_times: list[float] = []
+    c_timers: list[StageTimer] = []
+    d_timers: list[StageTimer] = []
+    for _ in range(repeats):
+        with StageTimer() as ct:
+            t0 = time.perf_counter()
+            blob = compress(field, **kwargs)
+            c_times.append(time.perf_counter() - t0)
+        c_timers.append(ct)
+        with StageTimer() as dt_:
+            t0 = time.perf_counter()
+            out = decompress(blob)
+            d_times.append(time.perf_counter() - t0)
+        d_timers.append(dt_)
+    if out.shape != field.shape:
+        raise RuntimeError(f"bench case {name}: round-trip shape mismatch")
+    c_sec = _median(c_times)
+    d_sec = _median(d_times)
+    return {
+        "name": name,
+        "dtype": dtype,
+        "ndim": len(shape),
+        "shape": list(shape),
+        "mode": mode,
+        "n_bytes": int(field.nbytes),
+        "compressed_bytes": len(blob),
+        "compression_factor": field.nbytes / max(1, len(blob)),
+        "compress": {
+            "seconds": c_sec,
+            "mb_per_s": field.nbytes / c_sec / 1e6 if c_sec > 0 else 0.0,
+            "stages": StageTimer.median_stages(c_timers),
+        },
+        "decompress": {
+            "seconds": d_sec,
+            "mb_per_s": field.nbytes / d_sec / 1e6 if d_sec > 0 else 0.0,
+            "stages": StageTimer.median_stages(d_timers),
+        },
+    }
+
+
+def bench_report(
+    scale: str = "tiny",
+    repeats: int = 3,
+    modes: tuple[str, ...] = _DEFAULT_MODES,
+    dtypes: tuple[str, ...] = ("float32", "float64"),
+    dims: tuple[int, ...] = (1, 2, 3),
+    only: tuple[str, ...] | None = None,
+) -> dict:
+    """Run the sweep and return the report dict (see :data:`SCHEMA`)."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    for m in modes:
+        if m not in _ALL_MODES:
+            raise ValueError(f"unknown mode {m!r}; choose from {_ALL_MODES}")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    cases = []
+    for dtype in dtypes:
+        for ndim in dims:
+            for mode in modes:
+                name = f"{ndim}d-{'f32' if dtype == 'float32' else 'f64'}-{mode}"
+                if only is not None and name not in only:
+                    continue
+                shape = SCALES[scale][ndim]
+                cases.append(_run_case(name, dtype, shape, mode, repeats))
+    report = {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "git_rev": _git_rev(),
+        "machine": _machine_info(),
+        "scale": scale,
+        "repeats": repeats,
+        "calibration_seconds": calibrate(),
+        "cases": cases,
+    }
+    validate_report(report)
+    return report
+
+
+_REQUIRED_TOP = (
+    "schema",
+    "created_unix",
+    "git_rev",
+    "machine",
+    "scale",
+    "repeats",
+    "calibration_seconds",
+    "cases",
+)
+_REQUIRED_CASE = (
+    "name",
+    "dtype",
+    "ndim",
+    "shape",
+    "mode",
+    "n_bytes",
+    "compressed_bytes",
+    "compression_factor",
+    "compress",
+    "decompress",
+)
+_REQUIRED_SIDE = ("seconds", "mb_per_s", "stages")
+_REQUIRED_STAGE = ("calls", "seconds", "bytes", "mb_per_s")
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` if ``report`` is not a valid bench report."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {report.get('schema')!r}; want {SCHEMA!r}"
+        )
+    for key in _REQUIRED_TOP:
+        if key not in report:
+            raise ValueError(f"bench report missing required key {key!r}")
+    if not isinstance(report["cases"], list) or not report["cases"]:
+        raise ValueError("bench report has no cases")
+    for case in report["cases"]:
+        for key in _REQUIRED_CASE:
+            if key not in case:
+                raise ValueError(
+                    f"bench case {case.get('name', '?')!r} missing key {key!r}"
+                )
+        for side in ("compress", "decompress"):
+            for key in _REQUIRED_SIDE:
+                if key not in case[side]:
+                    raise ValueError(
+                        f"case {case['name']!r} {side} missing key {key!r}"
+                    )
+            for path, rec in case[side]["stages"].items():
+                for key in _REQUIRED_STAGE:
+                    if key not in rec:
+                        raise ValueError(
+                            f"case {case['name']!r} stage {path!r} "
+                            f"missing key {key!r}"
+                        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="micro-benchmark the compressor and write BENCH_micro.json",
+    )
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "small"),
+        choices=sorted(SCALES),
+        help="sweep size (env REPRO_BENCH_SCALE overrides the default)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--modes",
+        default=",".join(_DEFAULT_MODES),
+        help=f"comma-separated subset of {_ALL_MODES}",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated case names to run (e.g. 3d-f32-rel)",
+    )
+    parser.add_argument("--out", default="BENCH_micro.json")
+    args = parser.parse_args(argv)
+    report = bench_report(
+        scale=args.scale,
+        repeats=args.repeats,
+        modes=tuple(m for m in args.modes.split(",") if m),
+        only=tuple(args.only.split(",")) if args.only else None,
+    )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for case in report["cases"]:
+        print(
+            f"{case['name']:14s} compress {case['compress']['mb_per_s']:8.2f} MB/s"
+            f"  decompress {case['decompress']['mb_per_s']:8.2f} MB/s"
+            f"  CF {case['compression_factor']:6.2f}"
+        )
+    print(f"wrote {args.out} ({len(report['cases'])} cases, scale {args.scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

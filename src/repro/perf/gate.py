@@ -1,0 +1,187 @@
+"""CI perf-regression gate: compare a fresh bench run against a baseline.
+
+Fails (exit 1) when any per-stage median — or the end-to-end compress /
+decompress time — of a case regresses more than the tolerance factor
+versus the committed baseline.  Times are normalized by each report's
+``calibration_seconds`` (a fixed NumPy workload timed on the same
+machine) so a slower CI runner shifts both sides equally instead of
+tripping the gate; pass ``--absolute`` to compare raw seconds.
+
+Usage::
+
+    python -m repro.perf.gate benchmarks/baselines/bench_baseline.json \
+        BENCH_micro.json --tolerance 1.5
+
+Stages faster than ``--floor`` seconds (default 5 ms) in the baseline
+are skipped: at that scale timer/scheduler noise dominates and any
+ratio is meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.perf.bench import validate_report
+
+__all__ = ["compare_reports", "main"]
+
+DEFAULT_TOLERANCE = 1.5
+DEFAULT_FLOOR_SECONDS = 5e-3
+"""Stages faster than this in the baseline are skipped: below ~5 ms,
+scheduler noise on shared CI runners swings ratios past any reasonable
+tolerance (observed 1.8x between back-to-back identical runs)."""
+
+
+def compare_reports(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor_seconds: float = DEFAULT_FLOOR_SECONDS,
+    normalize: bool = True,
+) -> list[dict]:
+    """Return the list of regressions (empty = gate passes).
+
+    Each regression dict has ``case``, ``metric`` (``compress``,
+    ``decompress`` or a stage path), ``baseline_seconds``,
+    ``fresh_seconds`` and the calibrated ``slowdown`` factor.
+    """
+    validate_report(baseline)
+    validate_report(fresh)
+    scale = 1.0
+    if normalize:
+        base_cal = float(baseline["calibration_seconds"])
+        fresh_cal = float(fresh["calibration_seconds"])
+        if base_cal > 0 and fresh_cal > 0:
+            scale = base_cal / fresh_cal
+    fresh_cases = {c["name"]: c for c in fresh["cases"]}
+    regressions: list[dict] = []
+    for base_case in baseline["cases"]:
+        name = base_case["name"]
+        new_case = fresh_cases.get(name)
+        if new_case is None:
+            regressions.append(
+                {
+                    "case": name,
+                    "metric": "missing",
+                    "baseline_seconds": 0.0,
+                    "fresh_seconds": 0.0,
+                    "slowdown": float("inf"),
+                }
+            )
+            continue
+        checks: list[tuple[str, float, float]] = []
+        for side in ("compress", "decompress"):
+            checks.append(
+                (
+                    side,
+                    float(base_case[side]["seconds"]),
+                    float(new_case[side]["seconds"]),
+                )
+            )
+            base_stages = base_case[side]["stages"]
+            new_stages = new_case[side]["stages"]
+            for path, rec in base_stages.items():
+                if path in new_stages:
+                    checks.append(
+                        (
+                            f"{side}:{path}",
+                            float(rec["seconds"]),
+                            float(new_stages[path]["seconds"]),
+                        )
+                    )
+                elif float(rec["seconds"]) >= floor_seconds:
+                    # A stage that was measured in the baseline but is
+                    # absent now means instrumentation was removed or
+                    # renamed — that must not pass vacuously.
+                    regressions.append(
+                        {
+                            "case": name,
+                            "metric": f"{side}:{path} (stage missing)",
+                            "baseline_seconds": float(rec["seconds"]),
+                            "fresh_seconds": 0.0,
+                            "slowdown": float("inf"),
+                        }
+                    )
+        for metric, base_sec, new_sec in checks:
+            if base_sec < floor_seconds:
+                continue
+            slowdown = (new_sec * scale) / base_sec if base_sec > 0 else 0.0
+            if slowdown > tolerance:
+                regressions.append(
+                    {
+                        "case": name,
+                        "metric": metric,
+                        "baseline_seconds": base_sec,
+                        "fresh_seconds": new_sec,
+                        "slowdown": slowdown,
+                    }
+                )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.gate",
+        description="fail when a bench run regresses versus the baseline",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="max allowed slowdown factor per stage (default 1.5)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_SECONDS,
+        help="skip stages below this many baseline seconds "
+             "(noise floor, default 5 ms)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw seconds without machine-speed calibration",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    regressions = compare_reports(
+        baseline,
+        fresh,
+        tolerance=args.tolerance,
+        floor_seconds=args.floor,
+        normalize=not args.absolute,
+    )
+    cal_note = (
+        "calibrated"
+        if not args.absolute
+        else "absolute (no machine normalization)"
+    )
+    print(
+        f"perf gate: tolerance {args.tolerance:.2f}x, floor {args.floor*1e3:.1f} ms, "
+        f"{cal_note}"
+    )
+    if not regressions:
+        print("perf gate: OK — no stage regressed beyond tolerance")
+        return 0
+    print(f"perf gate: {len(regressions)} regression(s):")
+    for r in regressions:
+        print(
+            f"  {r['case']:14s} {r['metric']:40s} "
+            f"{r['baseline_seconds']*1e3:9.2f} ms -> "
+            f"{r['fresh_seconds']*1e3:9.2f} ms  ({r['slowdown']:.2f}x)"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

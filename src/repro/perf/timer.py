@@ -1,0 +1,198 @@
+"""Stage-level instrumentation for the compression pipeline.
+
+The pipeline modules (:mod:`repro.core.compressor`,
+:mod:`repro.core.wavefront`, :mod:`repro.core.stream`,
+:mod:`repro.encoding.huffman`) call :func:`stage` around their hot
+sections.  When no :class:`StageTimer` is active this is a near-free
+no-op (one context-variable read), so production code pays nothing; a
+benchmark or profiling caller activates a timer and receives a per-stage
+breakdown of wall time, bytes processed and derived MB/s.
+
+Stages nest: a stage entered while another is open records under the
+slash-joined path (``compress/quantize``), which keeps one flat dict per
+timer while preserving the call hierarchy — exactly the shape the bench
+report and the CI perf gate consume.
+
+>>> with StageTimer() as t:
+...     with stage("outer", nbytes=8):
+...         with stage("inner"):
+...             pass
+>>> sorted(t.records)
+['outer', 'outer/inner']
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = ["StageRecord", "StageTimer", "stage", "active_timer"]
+
+_ACTIVE: ContextVar["StageTimer | None"] = ContextVar(
+    "repro_perf_active_timer", default=None
+)
+
+
+@dataclass
+class StageRecord:
+    """Aggregate for one stage path."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    nbytes: int = 0
+
+    @property
+    def mb_per_s(self) -> float:
+        """Throughput over the recorded bytes (0.0 when unmeasurable)."""
+        if self.seconds <= 0.0 or self.nbytes <= 0:
+            return 0.0
+        return self.nbytes / self.seconds / 1e6
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "bytes": self.nbytes,
+            "mb_per_s": self.mb_per_s,
+        }
+
+
+class _NullStage:
+    """Reusable no-op context manager returned when no timer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """One live stage entry; records into its owning timer on exit."""
+
+    __slots__ = ("_timer", "_name", "_nbytes", "_t0")
+
+    def __init__(self, timer: "StageTimer", name: str, nbytes: int) -> None:
+        self._timer = timer
+        self._name = name
+        self._nbytes = nbytes
+
+    def __enter__(self) -> "_Stage":
+        self._timer._stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._t0
+        timer = self._timer
+        path = "/".join(timer._stack)
+        timer._stack.pop()
+        rec = timer.records.get(path)
+        if rec is None:
+            rec = timer.records[path] = StageRecord()
+        rec.calls += 1
+        rec.seconds += dt
+        rec.nbytes += self._nbytes
+
+
+@dataclass
+class StageTimer:
+    """Collects per-stage wall time, bytes and call counts.
+
+    Use as a context manager to activate it for the current context::
+
+        with StageTimer() as t:
+            compress(data, ...)
+        print(t.as_dict())
+
+    Nested activations restore the previous timer on exit, so timers can
+    wrap each other (e.g. a bench harness around instrumented library
+    calls that themselves activate nothing).
+    """
+
+    records: dict[str, StageRecord] = field(default_factory=dict)
+    _stack: list[str] = field(default_factory=list)
+
+    def __enter__(self) -> "StageTimer":
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.reset(self._token)
+
+    def stage(self, name: str, nbytes: int = 0) -> _Stage:
+        return _Stage(self, name, nbytes)
+
+    def as_dict(self) -> dict[str, dict]:
+        """Flat ``{stage path: {calls, seconds, bytes, mb_per_s}}`` map."""
+        return {path: rec.as_dict() for path, rec in sorted(self.records.items())}
+
+    def merge(self, other: "StageTimer") -> None:
+        """Accumulate another timer's records into this one."""
+        for path, rec in other.records.items():
+            mine = self.records.get(path)
+            if mine is None:
+                mine = self.records[path] = StageRecord()
+            mine.calls += rec.calls
+            mine.seconds += rec.seconds
+            mine.nbytes += rec.nbytes
+
+    @staticmethod
+    def median_stages(timers: list["StageTimer"]) -> dict[str, dict]:
+        """Per-stage medians across repeat runs.
+
+        ``seconds`` is the median over the runs that saw the stage;
+        ``calls``/``bytes`` take the median too (they are normally
+        identical across repeats of a deterministic workload).
+        """
+        paths: set[str] = set()
+        for t in timers:
+            paths.update(t.records)
+        out: dict[str, dict] = {}
+        for path in sorted(paths):
+            recs = [t.records[path] for t in timers if path in t.records]
+            seconds = _median([r.seconds for r in recs])
+            nbytes = int(_median([r.nbytes for r in recs]))
+            calls = int(_median([r.calls for r in recs]))
+            mb = nbytes / seconds / 1e6 if seconds > 0 and nbytes > 0 else 0.0
+            out[path] = {
+                "calls": calls,
+                "seconds": seconds,
+                "bytes": nbytes,
+                "mb_per_s": mb,
+            }
+        return out
+
+
+def _median(xs: list[float]) -> float:
+    ys = sorted(xs)
+    n = len(ys)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ys[mid]
+    return 0.5 * (ys[mid - 1] + ys[mid])
+
+
+def active_timer() -> StageTimer | None:
+    """The timer currently collecting stages, if any."""
+    return _ACTIVE.get()
+
+
+def stage(name: str, nbytes: int = 0):
+    """Record a stage on the active timer (no-op when none is active).
+
+    ``nbytes`` is the payload size the stage processes; it feeds the
+    MB/s throughput column of the bench report.
+    """
+    timer = _ACTIVE.get()
+    if timer is None:
+        return _NULL_STAGE
+    return timer.stage(name, nbytes)

@@ -116,8 +116,8 @@ class TestPackVarlen:
         values &= (np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1)
         buf, nbits = pack_varlen(values, lengths)
         w = BitWriter()
-        for v, l in zip(values, lengths):
-            w.write(int(v), int(l))
+        for v, width in zip(values, lengths):
+            w.write(int(v), int(width))
         assert nbits == w.bit_length
         assert buf.tobytes() == w.getvalue()
 

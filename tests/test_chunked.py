@@ -23,7 +23,7 @@ from repro.chunked import (
     region_of_interest_cost,
     tiled_container_info,
 )
-from repro.core import compress, decompress
+from repro.core import compress
 
 
 def _field(shape, dtype=np.float32, seed=7):

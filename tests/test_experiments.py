@@ -7,7 +7,6 @@ absolute values.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import EXPERIMENTS, run_experiment

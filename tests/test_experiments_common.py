@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.common import (
-    CompressorResult,
     Table,
     run_fpzip,
     run_gzip,

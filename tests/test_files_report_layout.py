@@ -11,7 +11,7 @@ from repro.core.layout import (
     decompress_sliced,
     suggest_batching,
 )
-from repro.metrics.report import QualityReport, evaluate
+from repro.metrics.report import evaluate
 from repro.parallel.files import (
     archive_info,
     create_archive,

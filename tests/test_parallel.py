@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import compress, decompress
+from repro.core import compress
 from repro.parallel import (
     BluesClusterModel,
     ParallelIOModel,

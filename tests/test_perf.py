@@ -1,0 +1,286 @@
+"""Tests for the perf subsystem: StageTimer, bench schema, CI gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf import StageTimer, active_timer, stage
+from repro.perf.bench import (
+    SCALES,
+    SCHEMA,
+    bench_report,
+    calibrate,
+    synth_field,
+    validate_report,
+)
+from repro.perf.gate import compare_reports
+
+
+class TestStageTimer:
+    def test_records_time_bytes_calls(self):
+        with StageTimer() as t:
+            with stage("work", nbytes=1000):
+                pass
+            with stage("work", nbytes=500):
+                pass
+        rec = t.records["work"]
+        assert rec.calls == 2
+        assert rec.nbytes == 1500
+        assert rec.seconds >= 0.0
+
+    def test_nesting_builds_slash_paths(self):
+        with StageTimer() as t:
+            with stage("outer"):
+                with stage("inner"):
+                    pass
+                with stage("inner"):
+                    pass
+        assert set(t.records) == {"outer", "outer/inner"}
+        assert t.records["outer/inner"].calls == 2
+        assert t.records["outer"].calls == 1
+
+    def test_nested_time_within_parent(self):
+        with StageTimer() as t:
+            with stage("outer"):
+                with stage("inner", nbytes=1):
+                    x = float(np.sum(np.arange(1000.0)))
+        assert x > 0
+        assert t.records["outer/inner"].seconds <= t.records["outer"].seconds
+
+    def test_noop_without_active_timer(self):
+        assert active_timer() is None
+        with stage("nobody-listens", nbytes=10):
+            pass  # must not raise nor record anywhere
+
+    def test_activation_restores_previous(self):
+        with StageTimer() as outer_timer:
+            assert active_timer() is outer_timer
+            with StageTimer() as inner_timer:
+                assert active_timer() is inner_timer
+                with stage("s"):
+                    pass
+            assert active_timer() is outer_timer
+        assert active_timer() is None
+        assert "s" in inner_timer.records
+        assert "s" not in outer_timer.records
+
+    def test_mb_per_s(self):
+        with StageTimer() as t:
+            with t.stage("s", nbytes=10_000_000):
+                pass
+        d = t.as_dict()["s"]
+        assert d["bytes"] == 10_000_000
+        assert d["mb_per_s"] >= 0.0
+
+    def test_merge_accumulates(self):
+        a, b = StageTimer(), StageTimer()
+        with a:
+            with stage("s", nbytes=10):
+                pass
+        with b:
+            with stage("s", nbytes=20):
+                pass
+            with stage("only-b"):
+                pass
+        a.merge(b)
+        assert a.records["s"].calls == 2
+        assert a.records["s"].nbytes == 30
+        assert "only-b" in a.records
+
+    def test_median_stages(self):
+        timers = []
+        for nb in (10, 20, 30):
+            t = StageTimer()
+            with t:
+                with stage("s", nbytes=nb):
+                    pass
+            timers.append(t)
+        med = StageTimer.median_stages(timers)
+        assert med["s"]["bytes"] == 20
+        assert med["s"]["calls"] == 1
+
+    def test_exception_still_records(self):
+        with StageTimer() as t:
+            with pytest.raises(RuntimeError):
+                with stage("boom"):
+                    raise RuntimeError("x")
+        assert t.records["boom"].calls == 1
+        assert t._stack == []
+
+
+class TestPipelineInstrumentation:
+    def test_compress_decompress_emit_stages(self):
+        from repro.core import compress, decompress
+
+        field = synth_field(SCALES["tiny"][2], "float32", seed=1)
+        with StageTimer() as ct:
+            blob = compress(field, rel_bound=1e-3)
+        with StageTimer() as dt:
+            decompress(blob)
+        for key in ("quantize", "entropy", "entropy/huffman_encode",
+                    "unpredictable", "container_write"):
+            assert key in ct.records, f"missing compress stage {key}"
+        for key in ("container_read", "entropy", "entropy/huffman_decode",
+                    "dequantize", "unpredictable"):
+            assert key in dt.records, f"missing decompress stage {key}"
+
+
+def _tiny_report(**kw):
+    kw.setdefault("scale", "tiny")
+    kw.setdefault("repeats", 1)
+    kw.setdefault("only", ("1d-f32-abs", "2d-f32-rel"))
+    return bench_report(**kw)
+
+
+def _strip_volatile(report: dict) -> dict:
+    out = json.loads(json.dumps(report))  # deep copy via round-trip
+    out.pop("created_unix")
+    out.pop("calibration_seconds")
+    def scrub(stages):
+        for rec in stages.values():
+            rec.pop("seconds")
+            rec.pop("mb_per_s")
+    for case in out["cases"]:
+        for side in ("compress", "decompress"):
+            case[side].pop("seconds")
+            case[side].pop("mb_per_s")
+            scrub(case[side]["stages"])
+    return out
+
+
+class TestBenchReport:
+    def test_schema_and_json_roundtrip(self):
+        report = _tiny_report()
+        validate_report(report)
+        assert report["schema"] == SCHEMA
+        back = json.loads(json.dumps(report))
+        validate_report(back)
+        assert back["cases"][0]["name"] == report["cases"][0]["name"]
+
+    def test_required_keys_enforced(self):
+        report = _tiny_report()
+        broken = copy.deepcopy(report)
+        del broken["calibration_seconds"]
+        with pytest.raises(ValueError, match="calibration_seconds"):
+            validate_report(broken)
+        broken = copy.deepcopy(report)
+        del broken["cases"][0]["compress"]["stages"]
+        with pytest.raises(ValueError, match="stages"):
+            validate_report(broken)
+        with pytest.raises(ValueError, match="schema"):
+            validate_report({"schema": "other/9"})
+
+    def test_determinism_modulo_timings(self):
+        a = _strip_volatile(_tiny_report())
+        b = _strip_volatile(_tiny_report())
+        assert a == b
+
+    def test_case_shape_matches_scale(self):
+        report = _tiny_report(only=("3d-f64-rel",))
+        case = report["cases"][0]
+        assert case["shape"] == list(SCALES["tiny"][3])
+        assert case["dtype"] == "float64"
+        assert case["mode"] == "rel"
+        assert case["compressed_bytes"] < case["n_bytes"]
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError, match="scale"):
+            bench_report(scale="galactic")
+        with pytest.raises(ValueError, match="mode"):
+            bench_report(scale="tiny", modes=("warp",))
+        with pytest.raises(ValueError, match="repeats"):
+            bench_report(scale="tiny", repeats=0)
+
+    def test_calibration_positive(self):
+        assert calibrate(repeats=1) > 0.0
+
+    def test_synth_field_deterministic(self):
+        a = synth_field((8, 9), "float32", seed=2)
+        b = synth_field((8, 9), "float32", seed=2)
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.float32
+
+
+class TestPerfGate:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _tiny_report()
+
+    def test_identical_reports_pass(self, baseline):
+        assert compare_reports(baseline, copy.deepcopy(baseline)) == []
+
+    def test_slow_stage_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        case = fresh["cases"][0]
+        case["compress"]["seconds"] *= 10.0
+        for rec in case["compress"]["stages"].values():
+            rec["seconds"] *= 10.0
+        regressions = compare_reports(
+            baseline, fresh, tolerance=1.5, floor_seconds=0.0
+        )
+        metrics = {r["metric"] for r in regressions}
+        assert "compress" in metrics
+        assert all(r["slowdown"] > 1.5 for r in regressions)
+
+    def test_within_tolerance_passes(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        for case in fresh["cases"]:
+            case["compress"]["seconds"] *= 1.2
+            case["decompress"]["seconds"] *= 1.2
+        assert compare_reports(baseline, fresh, tolerance=1.5) == []
+
+    def test_missing_case_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"] = fresh["cases"][1:]
+        regressions = compare_reports(baseline, fresh)
+        assert any(r["metric"] == "missing" for r in regressions)
+
+    def test_missing_stage_fails(self, baseline):
+        # Removing instrumentation must not pass vacuously.
+        fresh = copy.deepcopy(baseline)
+        case = fresh["cases"][0]
+        case["compress"]["stages"].pop("quantize")
+        regressions = compare_reports(baseline, fresh, floor_seconds=0.0)
+        assert any(
+            "quantize (stage missing)" in r["metric"] for r in regressions
+        )
+
+    def test_calibration_normalizes_slow_machine(self, baseline):
+        # Everything (workload and calibration) 3x slower: same machine
+        # speed ratio, so nothing really regressed.
+        fresh = copy.deepcopy(baseline)
+        fresh["calibration_seconds"] *= 3.0
+        for case in fresh["cases"]:
+            for side in ("compress", "decompress"):
+                case[side]["seconds"] *= 3.0
+                for rec in case[side]["stages"].values():
+                    rec["seconds"] *= 3.0
+        assert compare_reports(baseline, fresh, tolerance=1.5) == []
+        # ... but with normalization off the same reports fail.
+        assert compare_reports(
+            baseline, fresh, tolerance=1.5, normalize=False,
+            floor_seconds=0.0,
+        ) != []
+
+    def test_noise_floor_skips_tiny_stages(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        for case in fresh["cases"]:
+            for side in ("compress", "decompress"):
+                case[side]["seconds"] *= 100.0
+                for rec in case[side]["stages"].values():
+                    rec["seconds"] *= 100.0
+        assert compare_reports(baseline, fresh, floor_seconds=1e9) == []
+
+    def test_committed_baseline_is_valid(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent
+            / "benchmarks" / "baselines" / "bench_baseline.json"
+        )
+        with open(path) as fh:
+            validate_report(json.load(fh))
