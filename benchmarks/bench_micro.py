@@ -74,11 +74,11 @@ class TestCompressorKernels:
         assert res.hit_rate > 0.5
 
     def test_sz14_end_to_end_compress(self, benchmark, field):
-        blob = benchmark(compress, field, rel_bound=1e-4)
+        blob = benchmark(compress, field, mode="rel", bound=1e-4)
         assert len(blob) < field.nbytes
 
     def test_sz14_end_to_end_decompress(self, benchmark, field):
-        blob = compress(field, rel_bound=1e-4)
+        blob = compress(field, mode="rel", bound=1e-4)
         out = benchmark(decompress, blob)
         assert out.shape == field.shape
 
@@ -90,20 +90,20 @@ class TestTiledContainer:
         from repro.chunked import compress_tiled
 
         blob = benchmark(compress_tiled, field, tile_shape=64,
-                         rel_bound=1e-4)
+                         mode="rel", bound=1e-4)
         assert len(blob) < field.nbytes
 
     def test_decompress_tiled(self, benchmark, field):
         from repro.chunked import compress_tiled, decompress_tiled
 
-        blob = compress_tiled(field, tile_shape=64, rel_bound=1e-4)
+        blob = compress_tiled(field, tile_shape=64, mode="rel", bound=1e-4)
         out = benchmark(decompress_tiled, blob)
         assert out.shape == field.shape
 
     def test_decompress_region(self, benchmark, field):
         from repro.chunked import compress_tiled, decompress_region
 
-        blob = compress_tiled(field, tile_shape=64, rel_bound=1e-4)
+        blob = compress_tiled(field, tile_shape=64, mode="rel", bound=1e-4)
         roi = tuple(slice(s // 4, s // 4 + 32) for s in field.shape)
         out = benchmark(decompress_region, blob, roi)
         assert out.shape == tuple(sl.stop - sl.start for sl in roi)

@@ -19,7 +19,7 @@ def main() -> None:
     snapshot = hurricane_dataset(shape=(16, 64, 64), seed=3)
 
     print("1. archive the whole snapshot (one container per variable):")
-    archive = create_archive(arrays=snapshot, rel_bound=1e-4)
+    archive = create_archive(arrays=snapshot, mode="rel", bound=1e-4)
     total_in = sum(v.nbytes for v in snapshot.values())
     print(f"   {len(snapshot)} variables, {total_in:,} -> {len(archive):,} "
           f"bytes (CF {total_in / len(archive):.2f})\n")
@@ -33,7 +33,7 @@ def main() -> None:
     u = extract(archive, "U")
     report = evaluate(
         snapshot["U"],
-        lambda d: repro.compress(d, rel_bound=1e-4),
+        lambda d: repro.compress(d, mode="rel", bound=1e-4),
         repro.decompress,
     )
     assert np.array_equal(u.shape, snapshot["U"].shape)

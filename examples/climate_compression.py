@@ -31,7 +31,7 @@ def main() -> None:
             continue
         m = suggest_interval_bits(field, eb_abs)
         blob, stats = repro.compress_with_stats(
-            field, rel_bound=rel_bound, interval_bits=m
+            field, mode="rel", bound=rel_bound, interval_bits=m
         )
         out = repro.decompress(blob)
         assert max_rel_error(field, out) <= rel_bound

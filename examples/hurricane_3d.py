@@ -23,7 +23,7 @@ def main() -> None:
     print("SZ-1.4 (error-bounded):")
     print(f"  {'eb_rel':>8s} {'bits/val':>8s} {'PSNR dB':>8s}")
     for eb in (1e-2, 1e-3, 1e-4, 1e-5):
-        blob = repro.compress(field, rel_bound=eb)
+        blob = repro.compress(field, mode="rel", bound=eb)
         out = repro.decompress(blob)
         print(f"  {eb:8.0e} {8 * len(blob) / field.size:8.2f} "
               f"{psnr(field, out):8.1f}")

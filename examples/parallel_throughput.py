@@ -21,7 +21,7 @@ def main() -> None:
     counts = [p for p in (1, 2, 4, 8) if p <= cores]
 
     print(f"measured pool scaling on this machine ({cores} cores):")
-    rows = measure_pool_scaling(data, counts, rel_bound=1e-4)
+    rows = measure_pool_scaling(data, counts, mode="rel", bound=1e-4)
     print(f"  {'procs':>5s} {'MB/s':>8s} {'speedup':>8s} {'eff':>6s}")
     for r in rows:
         print(f"  {r['processes']:5d} {r['comp_speed_mb_s']:8.1f} "

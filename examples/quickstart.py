@@ -21,7 +21,7 @@ def main() -> None:
     # Compress with a value-range-based relative error bound of 1e-4
     # (paper Metric 1): every point of the reconstruction is guaranteed
     # within 1e-4 * (max - min) of the original.
-    blob, stats = repro.compress_with_stats(data, rel_bound=1e-4)
+    blob, stats = repro.compress_with_stats(data, mode="rel", bound=1e-4)
     out = repro.decompress(blob)
 
     eb = 1e-4 * float(data.max() - data.min())
@@ -36,6 +36,16 @@ def main() -> None:
     print(f"Pearson rho        : {pearson(data, out):.7f}")
     assert max_abs_error(data, out) <= eb, "bound violated?!"
     print("error bound holds for every point ✓")
+
+    # The same pipeline through the canonical config/codec objects: one
+    # validated SZConfig, one Codec, numcodecs-style encode/decode with
+    # a reusable output buffer.
+    codec = repro.Codec(repro.SZConfig.from_kwargs(mode="rel", bound=1e-4))
+    assert codec.encode(data) == blob, "codec path is byte-identical"
+    buf = np.empty_like(data)
+    codec.decode(blob, out=buf)          # decode into a caller buffer
+    assert np.array_equal(buf, out)
+    print(f"codec config       : {codec.config.to_json()}")
 
 
 if __name__ == "__main__":

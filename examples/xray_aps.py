@@ -29,7 +29,7 @@ def main() -> None:
     print(f"{'compressor':28s} {'CF':>7s} {'max e_rel':>10s}")
     for m in (4, 8, 12):
         blob, stats = repro.compress_with_stats(
-            frame, rel_bound=rel, interval_bits=m
+            frame, mode="rel", bound=rel, interval_bits=m
         )
         out = repro.decompress(blob)
         label = f"SZ-1.4, {(1 << m) - 1} intervals"

@@ -9,11 +9,19 @@ Quickstart
 ----------
 >>> import numpy as np, repro
 >>> data = np.sin(np.linspace(0, 20, 10000)).reshape(100, 100).astype(np.float32)
->>> blob = repro.compress(data, rel_bound=1e-4)
+>>> blob = repro.compress(data, mode="rel", bound=1e-4)
 >>> out = repro.decompress(blob)
 >>> assert abs(out - data).max() <= 1e-4 * (data.max() - data.min())
+
+Or through the canonical config/codec objects (``repro.api``):
+
+>>> codec = repro.Codec(repro.SZConfig.from_kwargs(mode="rel", bound=1e-4))
+>>> assert codec.decode(codec.encode(data)).shape == data.shape
 """
 
+__version__ = "1.5.0"
+
+from repro.api import Codec, SZConfig, get_codec, register_codec
 from repro.chunked import (
     TiledReader,
     TiledWriter,
@@ -23,24 +31,32 @@ from repro.chunked import (
 )
 from repro.core import (
     CompressionStats,
+    ErrorBound,
     SZ14Compressor,
     compress,
     compress_with_stats,
+    container_info,
     decompress,
 )
-
-__version__ = "1.4.0"
+from repro.metrics import verify_bound
 
 __all__ = [
+    "Codec",
     "CompressionStats",
+    "ErrorBound",
     "SZ14Compressor",
+    "SZConfig",
     "TiledReader",
     "TiledWriter",
     "compress",
     "compress_tiled",
     "compress_with_stats",
+    "container_info",
     "decompress",
     "decompress_region",
     "decompress_tiled",
+    "get_codec",
+    "register_codec",
+    "verify_bound",
     "__version__",
 ]

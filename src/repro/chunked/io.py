@@ -50,7 +50,9 @@ class ByteSource:
         self._close = close
         self.accountant = accountant
         if isinstance(raw, (bytes, bytearray, memoryview)):
-            self._buf: bytes | None = bytes(raw)
+            # Keep the caller's buffer as a view: slicing a memoryview
+            # is zero-copy, so in-memory containers are never duplicated.
+            self._buf = raw if isinstance(raw, bytes) else memoryview(raw)
             self._fh = None
             self._size = len(self._buf)
         else:

@@ -22,6 +22,7 @@ rmses).
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from pathlib import Path
 
@@ -46,7 +47,7 @@ from repro.chunked.format import (
     write_header,
 )
 from repro.chunked.io import ByteAccountant, open_source
-from repro.core import compress_with_stats, decompress
+from repro.core.compressor import LEGACY_BOUND_MSG, compress_array, decompress
 from repro.parallel.pool import pool_map
 
 __all__ = ["TiledWriter", "TiledReader"]
@@ -55,10 +56,11 @@ __all__ = ["TiledWriter", "TiledReader"]
 def _tile_job(args) -> tuple[bytes, int, int, int]:
     """Compress one tile; returns (blob, n_unpred, mode_count, nonzero_bins).
 
-    Module-level so the process pool can pickle it.
+    Module-level so the process pool can pickle it; the frozen
+    ``SZConfig`` travels to the workers instead of a kwargs dict.
     """
-    tile, kwargs = args
-    blob, stats = compress_with_stats(np.ascontiguousarray(tile), **kwargs)
+    tile, config = args
+    blob, stats = compress_array(np.ascontiguousarray(tile), config)
     hist = stats.code_histogram
     mode_count = int(hist.max()) if hist is not None and hist.size else 0
     nonzero = int((hist > 0).sum()) if hist is not None and hist.size else 0
@@ -78,8 +80,14 @@ class TiledWriter:
     tile_shape
         Tile extents; clipped per-axis to ``shape``.  ``None`` picks a
         near-isotropic tile of ~64k values (:func:`default_tile_shape`).
+    config
+        An :class:`repro.api.SZConfig` carrying the error bound and all
+        pipeline knobs (the canonical spelling; mutually exclusive with
+        the bound keywords below).  Its ``tile_shape``/``workers`` are
+        the defaults when the matching parameters are left unset.
     abs_bound, rel_bound
-        Error bounds, applied per tile (see module docstring).
+        Deprecated legacy bound pair, applied per tile (see module
+        docstring); emits a ``DeprecationWarning``.
     mode, bound
         Explicit error-bound mode and parameter (``abs``, ``rel``,
         ``pw_rel``, ``psnr``), mutually exclusive with the legacy
@@ -88,7 +96,7 @@ class TiledWriter:
     workers
         Process-pool width for compressing the tiles of one batch.
     **compress_kwargs
-        Forwarded to :func:`repro.core.compress_with_stats`
+        Remaining :class:`repro.api.SZConfig` knobs
         (``layers``, ``interval_bits``, ``adaptive``, ...).
 
     Tiles arrive through :meth:`write_slab` (one tile-row of the leading
@@ -107,20 +115,46 @@ class TiledWriter:
         workers: int = 1,
         mode: str | None = None,
         bound: float | None = None,
+        config=None,
         **compress_kwargs,
     ) -> None:
-        # Normalize the bound request up front (same surface as
-        # repro.core.compress) so a bad mode fails before the destination
-        # is opened and truncated.
-        from repro.core.bounds import ErrorBound
+        # Normalize the whole request into one SZConfig up front (same
+        # surface as repro.core.compress) so a bad mode or knob fails
+        # before the destination is opened and truncated.
+        from repro.api.config import SZConfig
 
-        spec = ErrorBound.from_args(mode, bound, abs_bound, rel_bound)
+        if config is None:
+            if abs_bound is not None or rel_bound is not None:
+                warnings.warn(
+                    LEGACY_BOUND_MSG, DeprecationWarning, stacklevel=2
+                )
+            config = SZConfig.from_kwargs(
+                mode=mode, bound=bound, abs_bound=abs_bound,
+                rel_bound=rel_bound, workers=max(1, int(workers)),
+                **compress_kwargs,
+            )
+        elif (
+            abs_bound is not None or rel_bound is not None
+            or mode is not None or bound is not None or compress_kwargs
+        ):
+            raise ValueError(
+                "config= is mutually exclusive with bound/knob keywords"
+            )
+        else:
+            if workers != 1:
+                config = config.replace(workers=max(1, int(workers)))
+            if tile_shape is None:
+                tile_shape = config.tile_shape
+        self.config = config
+        spec = config.error_bound
         dtype = np.dtype(dtype)
         if dtype not in (np.float32, np.float64):
             raise TypeError(f"only float32/float64 supported, got {dtype}")
         shape = tuple(int(s) for s in shape)
         if tile_shape is None:
             tile_shape = default_tile_shape(shape)
+        elif isinstance(tile_shape, (int, np.integer)):
+            tile_shape = (int(tile_shape),) * len(shape)  # cubic tiles
         self.grid = TileGrid(shape, tile_shape)
         self.header = TiledHeader(
             np.dtype(dtype), shape, self.grid.tile_shape,
@@ -128,16 +162,7 @@ class TiledWriter:
             mode=spec.mode, mode_param=spec.param if spec.mode in
             ("pw_rel", "psnr") else 0.0,
         )
-        self.workers = max(1, int(workers))
-        if spec.mode in ("pw_rel", "psnr"):
-            self._kwargs = dict(
-                mode=spec.mode, bound=spec.param, **compress_kwargs
-            )
-        else:
-            self._kwargs = dict(
-                abs_bound=spec.abs_bound, rel_bound=spec.rel_bound,
-                **compress_kwargs,
-            )
+        self.workers = config.workers
         self._mode_code = MODE_CODES[spec.mode]
         if isinstance(dest, (str, Path)):
             self._fh = open(dest, "wb")
@@ -160,6 +185,11 @@ class TiledWriter:
     @property
     def n_tiles(self) -> int:
         return self.grid.n_tiles
+
+    @property
+    def tile_shape(self) -> tuple[int, ...]:
+        """Resolved per-axis tile extents (mirrors ``TiledReader``)."""
+        return self.grid.tile_shape
 
     @property
     def tiles_written(self) -> int:
@@ -193,7 +223,7 @@ class TiledWriter:
                     f"tile dtype {tile.dtype} != container dtype "
                     f"{self.header.dtype}"
                 )
-        jobs = [(tile, self._kwargs) for tile in tiles]
+        jobs = [(tile, self.config) for tile in tiles]
         results = pool_map(_tile_job, jobs, n_workers=self.workers)
         for (blob, n_unpred, mode_count, nonzero), tile in zip(results, tiles):
             self._entries.append(
@@ -306,10 +336,10 @@ class TiledReader:
         try:
             if self._src.size < 8 + TAIL_BYTES:
                 raise ValueError("truncated tiled container: too short")
-            head = self._src.read_at(0, 8)
+            head = bytes(self._src.read_at(0, 8))
             version, ndim = read_header_prefix(head)
             rest = 16 * ndim + 16 + (9 if version == MODED_VERSION else 0)
-            head = head + self._src.read_at(8, rest)
+            head = head + bytes(self._src.read_at(8, rest))
             self.header = read_header(head)
             self.grid = TileGrid(self.header.shape, self.header.tile_shape)
             tail = self._src.read_at(self._src.size - TAIL_BYTES, TAIL_BYTES)

@@ -63,15 +63,18 @@ def compress_tiled(
     rel_bound: float | None = None,
     mode: str | None = None,
     bound: float | None = None,
+    config=None,
     **compress_kwargs,
 ) -> bytes | None:
     """Compress ``data`` into a tiled (v2/v3) container.
 
     ``tile_shape`` may be a per-axis tuple, a single int (cubic tiles),
-    or ``None`` for a ~64k-value near-isotropic default; tiles need not
-    divide the array evenly.  ``workers > 1`` fans tile compression out
-    over a process pool — the resulting container is byte-identical to
-    the serial one.  ``mode``/``bound`` select an error-bound mode
+    or ``None`` for the config's ``tile_shape`` (falling back to a
+    ~64k-value near-isotropic default); tiles need not divide the array
+    evenly.  ``workers > 1`` fans tile compression out over a process
+    pool — the resulting container is byte-identical to the serial one.
+    ``config`` is the canonical :class:`repro.api.SZConfig` spelling;
+    alternatively ``mode``/``bound`` select an error-bound mode
     (``abs``, ``rel``, ``pw_rel``, ``psnr``; see
     :mod:`repro.core.bounds`), applied per tile — each tile's pointwise
     or PSNR guarantee implies the array-level one.  With ``out`` (a path
@@ -81,6 +84,8 @@ def compress_tiled(
     data = np.asarray(data)
     if data.ndim < 1:
         raise ValueError("scalar input not supported")
+    if tile_shape is None and config is not None:
+        tile_shape = config.tile_shape
     tile_shape = _normalize_tile_shape(data.shape, tile_shape)
     sink = out if out is not None else io.BytesIO()
     writer = TiledWriter(
@@ -93,6 +98,7 @@ def compress_tiled(
         mode=mode,
         bound=bound,
         workers=workers,
+        config=config,
         **compress_kwargs,
     )
     with writer:
@@ -111,15 +117,19 @@ def compress_file_tiled(
     rel_bound: float | None = None,
     mode: str | None = None,
     bound: float | None = None,
+    config=None,
     **compress_kwargs,
 ) -> dict:
     """Compress an ``.npy`` file slab by slab via a memory map.
 
     Only one leading-axis tile-row is resident at a time, so the source
-    may exceed RAM.  ``mode``/``bound`` select an error-bound mode as in
+    may exceed RAM.  ``config`` (an :class:`repro.api.SZConfig`) or
+    ``mode``/``bound`` select the error-bound request as in
     :func:`compress_tiled`.  Returns a small summary dict.
     """
     data = np.load(npy_path, mmap_mode="r")
+    if tile_shape is None and config is not None:
+        tile_shape = config.tile_shape
     tile_shape = _normalize_tile_shape(data.shape, tile_shape)
     writer = TiledWriter(
         out,
@@ -131,6 +141,7 @@ def compress_file_tiled(
         mode=mode,
         bound=bound,
         workers=workers,
+        config=config,
         **compress_kwargs,
     )
     with writer:
@@ -194,7 +205,7 @@ def decompress_any(src) -> np.ndarray:
         src = Path(src).read_bytes()
     elif not isinstance(src, (bytes, bytearray, memoryview)):
         src = src.read()
-    return v1_decompress(bytes(src))
+    return v1_decompress(src)
 
 
 def container_info_any(src) -> dict:
@@ -205,7 +216,7 @@ def container_info_any(src) -> dict:
         src = Path(src).read_bytes()
     elif not isinstance(src, (bytes, bytearray, memoryview)):
         src = src.read()
-    info = v1_container_info(bytes(src))
+    info = v1_container_info(src)
     # Untagged blobs are the original v1 layout; pw_rel/psnr blobs carry
     # the mode-tagged (version 2) header of the same container family.
     info["format"] = (

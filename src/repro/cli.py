@@ -19,8 +19,10 @@ Subcommands
 ``decompress IN.sz OUT.npy [--region 0:10,5:20]``
     Decompress a container back to ``.npy``; ``--region`` extracts a
     hyperslab (reading only the intersecting tiles of a v2 container).
-``info FILE.sz``
-    Pretty-print container metadata for v1 and tiled v2 containers.
+``info FILE.sz [--json]``
+    Pretty-print container metadata for v1 and tiled v2 containers;
+    ``--json`` emits a machine-readable report including the
+    reconstructed :class:`repro.api.SZConfig` (``SZConfig.to_dict()``).
 ``bench [--scale tiny|small|large] [--out BENCH_micro.json]``
     Run the perf micro-benchmark sweep (see :mod:`repro.perf.bench`)
     and write the schema-versioned stage-breakdown report.
@@ -29,15 +31,64 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 import numpy as np
 
+from repro import __version__
+from repro.api import SZConfig
 from repro.core import compress_with_stats, decompress
 from repro.experiments import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
+
+
+def _json_safe(value):
+    """Recursively coerce container-info values into JSON-native types."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def _config_from_info(info: dict) -> dict | None:
+    """Best-effort ``SZConfig.to_dict()`` reconstructed from a header.
+
+    Containers record the error-bound request and the prediction/
+    quantization settings but not every encoder knob (e.g. the Huffman
+    ``block_size`` lives in the stream, not the header), so the result
+    carries defaults there; ``None`` when no valid config can be built
+    (e.g. a constant container whose recorded bound is 0).
+    """
+    try:
+        mode = info.get("mode", "abs")
+        if mode in ("pw_rel", "psnr"):
+            spec = {"mode": mode, "bound": info["mode_param"]}
+        elif info.get("rel_bound") is not None:
+            spec = {"mode": "rel", "bound": info["rel_bound"]}
+            if info.get("abs_bound") is not None:
+                spec["abs_bound"] = info["abs_bound"]
+        elif info.get("abs_bound") is not None:
+            spec = {"mode": "abs", "bound": info["abs_bound"]}
+        else:
+            spec = {"mode": "abs", "bound": info["eb_abs"]}
+        knobs = {}
+        for key in ("layers", "interval_bits", "entropy_coder",
+                    "lossless_post", "tile_shape"):
+            if info.get(key) is not None:
+                knobs[key] = info[key]
+        return SZConfig.from_dict({**spec, **knobs}).to_dict()
+    except (KeyError, ValueError):
+        return None
 
 
 def _cmd_list(_args) -> int:
@@ -108,6 +159,16 @@ def _cmd_compress(args) -> int:
         args.abs_bound is not None or args.rel_bound is not None
     ):
         raise SystemExit("--mode/--bound and --abs/--rel are mutually exclusive")
+    config = SZConfig.from_kwargs(
+        mode=args.mode,
+        bound=args.bound,
+        abs_bound=args.abs_bound,
+        rel_bound=args.rel_bound,
+        layers=args.layers,
+        interval_bits=args.bits,
+        adaptive=args.adaptive,
+        workers=args.workers,
+    )
     if args.tile is not None:
         from repro.chunked import compress_file_tiled
 
@@ -116,14 +177,7 @@ def _cmd_compress(args) -> int:
             args.input,
             args.output,
             tile_shape=_parse_tile(args.tile, len(shape)),
-            workers=args.workers,
-            abs_bound=args.abs_bound,
-            rel_bound=args.rel_bound,
-            mode=args.mode,
-            bound=args.bound,
-            layers=args.layers,
-            interval_bits=args.bits,
-            adaptive=args.adaptive,
+            config=config,
         )
         print(
             f"{args.input}: {summary['original_bytes']} -> "
@@ -133,16 +187,7 @@ def _cmd_compress(args) -> int:
         )
         return 0
     data = np.load(args.input)
-    blob, stats = compress_with_stats(
-        data,
-        abs_bound=args.abs_bound,
-        rel_bound=args.rel_bound,
-        mode=args.mode,
-        bound=args.bound,
-        layers=args.layers,
-        interval_bits=args.bits,
-        adaptive=args.adaptive,
-    )
+    blob, stats = compress_with_stats(data, config=config)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     print(
@@ -188,6 +233,13 @@ def _cmd_info(args) -> int:
     from repro.metrics import tile_ratio_stats
 
     info = container_info_any(args.input)
+    if args.json:
+        report = _json_safe(dict(info))
+        report["file"] = args.input
+        report["config"] = _config_from_info(info)
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     tile_bytes = info.pop("tile_bytes", None)
     tile_values = info.pop("tile_values", None)
     hit_rates = info.pop("tile_hit_rates", None)
@@ -236,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-sz",
         description="SZ-1.4 reproduction: error-bounded lossy compression",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-sz {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -287,6 +342,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p_i = sub.add_parser("info", help="inspect a container (v1 or tiled v2)")
     p_i.add_argument("input")
+    p_i.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report (includes the "
+             "reconstructed SZConfig)",
+    )
     p_i.set_defaults(func=_cmd_info)
 
     p_b = sub.add_parser(

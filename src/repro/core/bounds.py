@@ -157,6 +157,38 @@ class ErrorBound:
             return float(self.rel_bound)
         return float(self.abs_bound)
 
+    def to_dict(self) -> dict:
+        """JSON-safe spelling of this bound; inverse of :meth:`from_dict`.
+
+        The combined legacy pair (``rel`` with an ``abs`` cap, where the
+        tighter effective bound wins) has no single-parameter spelling,
+        so it serializes with an extra ``abs_bound`` key.
+        """
+        if self.mode == "rel" and self.abs_bound is not None:
+            return {
+                "mode": "rel",
+                "bound": float(self.rel_bound),
+                "abs_bound": float(self.abs_bound),
+            }
+        return {"mode": self.mode, "bound": self.param}
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ErrorBound":
+        """Rebuild an :class:`ErrorBound` from :meth:`to_dict` output.
+
+        Every value is re-validated through :meth:`from_args`, so a
+        hand-written or tampered dict fails with the same errors as the
+        keyword surface.
+        """
+        if not isinstance(spec, dict):
+            raise ValueError(f"error-bound spec must be a dict, got {spec!r}")
+        mode = spec.get("mode")
+        if mode == "rel" and spec.get("abs_bound") is not None:
+            return cls.from_args(
+                None, None, spec["abs_bound"], spec.get("bound")
+            )
+        return cls.from_args(mode, spec.get("bound"))
+
     def resolve(self, value_range: float) -> float:
         """Effective absolute bound for the ``abs``/``rel`` modes.
 

@@ -15,7 +15,7 @@ legacy ``abs_bound``/``rel_bound`` pair the tighter bound wins),
 >>> import numpy as np
 >>> from repro.core import compress, decompress
 >>> data = np.sin(np.linspace(0, 20, 10000)).reshape(100, 100).astype(np.float32)
->>> blob = compress(data, rel_bound=1e-4)
+>>> blob = compress(data, mode="rel", bound=1e-4)
 >>> out = decompress(blob)
 >>> bool(np.max(np.abs(out - data)) <= 1e-4 * (data.max() - data.min()))
 True
@@ -28,6 +28,7 @@ True
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -66,10 +67,63 @@ __all__ = [
     "CompressionStats",
     "SZ14Compressor",
     "compress",
+    "compress_array",
     "compress_with_stats",
     "container_info",
     "decompress",
 ]
+
+LEGACY_BOUND_MSG = (
+    "the abs_bound/rel_bound keywords are deprecated; pass mode=/bound= "
+    "(e.g. mode='rel', bound=1e-4) or an SZConfig via config="
+)
+
+
+def _reject_config_conflicts(
+    abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+    block_size, entropy_coder, lossless_post, mode, bound,
+):
+    """With ``config=`` given, every other keyword must stay unset.
+
+    A knob passed alongside a config would be silently ignored — a
+    sweep bug waiting to happen — so any non-default value raises.
+    """
+    defaults = (
+        abs_bound is None and rel_bound is None
+        and mode is None and bound is None
+        and layers == 1 and interval_bits == 8
+        and adaptive is False and theta == DEFAULT_THETA
+        and block_size == 4096 and entropy_coder == "huffman"
+        and lossless_post is False
+    )
+    if not defaults:
+        raise ValueError(
+            "config= is mutually exclusive with the bound/knob keywords; "
+            "derive a variant with config.replace(...) instead"
+        )
+
+
+def _shim_config(
+    abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+    block_size, entropy_coder, lossless_post, mode, bound,
+):
+    """Normalize a legacy keyword call into an ``SZConfig``.
+
+    Emits the deprecation warning for the legacy ``abs_bound``/
+    ``rel_bound`` pair at the caller's call site (stacklevel 3: helper →
+    shim → user code).  Internal code constructs ``SZConfig`` directly
+    and never goes through here.
+    """
+    if abs_bound is not None or rel_bound is not None:
+        warnings.warn(LEGACY_BOUND_MSG, DeprecationWarning, stacklevel=3)
+    from repro.api.config import SZConfig
+
+    return SZConfig.from_kwargs(
+        mode=mode, bound=bound, abs_bound=abs_bound, rel_bound=rel_bound,
+        layers=layers, interval_bits=interval_bits, adaptive=adaptive,
+        theta=theta, block_size=block_size, entropy_coder=entropy_coder,
+        lossless_post=lossless_post,
+    )
 
 _MAX_INTERVAL_BITS = 16
 _PLAN_CACHE: OrderedDict[tuple, WavefrontPlan] = OrderedDict()
@@ -259,57 +313,23 @@ def _psnr_of(data: np.ndarray, recon: np.ndarray, value_range: float) -> float:
     return float(20.0 * np.log10(value_range / rmse))
 
 
-def compress_with_stats(
-    data: np.ndarray,
-    abs_bound: float | None = None,
-    rel_bound: float | None = None,
-    layers: int = 1,
-    interval_bits: int = 8,
-    adaptive: bool = False,
-    theta: float = DEFAULT_THETA,
-    block_size: int = 4096,
-    entropy_coder: str = "huffman",
-    lossless_post: bool = False,
-    mode: str | None = None,
-    bound: float | None = None,
+def compress_array(
+    data: np.ndarray, config
 ) -> tuple[bytes, CompressionStats]:
-    """Compress ``data`` and return ``(container bytes, diagnostics)``.
+    """The compression engine: ``(data, SZConfig) -> (blob, stats)``.
 
-    Parameters
-    ----------
-    data
-        1-, 2- or 3-dimensional (any-d supported) float32/float64 array.
-    abs_bound, rel_bound
-        Legacy bound pair: absolute and/or value-range-based relative
-        error bounds; with both, the tighter effective bound is used.
-        Mutually exclusive with ``mode``/``bound``.
-    mode, bound
-        Explicit error-bound mode (``abs``, ``rel``, ``pw_rel`` or
-        ``psnr``) and its parameter: an absolute bound, a range-relative
-        fraction, a pointwise-relative fraction in (0, 1), or a target
-        PSNR in dB.  See :mod:`repro.core.bounds` for the guarantees.
-    layers
-        Prediction layers ``n`` (paper default 1; best layer is
-        data-dependent, see Table II).
-    interval_bits
-        ``m``: the encoder uses ``2^m - 1`` quantization intervals.
-    adaptive
-        Retry with more intervals while the hitting rate is below
-        ``theta`` (automated form of the paper's Section IV-B advice).
-    theta
-        Hitting-rate threshold for ``adaptive``.
-    block_size
-        Huffman chunk size (parallel-decode granularity).
-    entropy_coder
-        ``"huffman"`` (the paper's variable-length encoder, default) or
-        ``"arithmetic"`` — an out-of-paper extension using the adaptive
-        range coder (slower; removes Huffman's integer-bit rounding loss).
-    lossless_post
-        Run the finished container through the DEFLATE-like codec (SZ's
-        optional gzip pipe); kept only when it actually shrinks.
+    Every public entry point — :func:`compress`,
+    :func:`compress_with_stats`, :class:`repro.api.Codec`, the tiled
+    writers — lands here.  ``config`` is an already-validated
+    :class:`repro.api.SZConfig`; the tiling fields (``tile_shape``,
+    ``workers``) are ignored by this whole-array path.
     """
-    if entropy_coder not in ("huffman", "arithmetic"):
-        raise ValueError(f"unknown entropy coder {entropy_coder!r}")
+    layers = config.layers
+    interval_bits = config.interval_bits
+    adaptive = config.adaptive
+    theta = config.theta
+    block_size = config.block_size
+    entropy_coder = config.entropy_coder
     data = np.asarray(data)
     if data.dtype not in (np.float32, np.float64):
         raise TypeError(f"only float32/float64 supported, got {data.dtype}")
@@ -317,7 +337,7 @@ def compress_with_stats(
         raise ValueError("scalar input not supported")
     if data.size == 0:
         raise ValueError("empty input not supported")
-    spec = ErrorBound.from_args(mode, bound, abs_bound, rel_bound)
+    spec = config.error_bound
     t0 = time.perf_counter()
     value_range = _value_range(data)
 
@@ -369,7 +389,7 @@ def compress_with_stats(
             block_size, entropy_coder, code_hist=code_hist,
         )
         mode_attempts = 1
-    if lossless_post:
+    if config.lossless_post:
         with stage("lossless_post", nbytes=len(blob)):
             blob = wrap(blob)
     stats = CompressionStats(
@@ -394,6 +414,76 @@ def compress_with_stats(
     )
     stats.itemsize = data.dtype.itemsize
     return blob, stats
+
+
+def compress_with_stats(
+    data: np.ndarray,
+    abs_bound: float | None = None,
+    rel_bound: float | None = None,
+    layers: int = 1,
+    interval_bits: int = 8,
+    adaptive: bool = False,
+    theta: float = DEFAULT_THETA,
+    block_size: int = 4096,
+    entropy_coder: str = "huffman",
+    lossless_post: bool = False,
+    mode: str | None = None,
+    bound: float | None = None,
+    *,
+    config=None,
+) -> tuple[bytes, CompressionStats]:
+    """Compress ``data`` and return ``(container bytes, diagnostics)``.
+
+    Keyword shim over :func:`compress_array` /
+    :class:`repro.api.SZConfig`: pass ``config=`` directly, or the
+    keywords below (which are packed into an ``SZConfig`` for you).
+
+    Parameters
+    ----------
+    data
+        1-, 2- or 3-dimensional (any-d supported) float32/float64 array.
+    config
+        An :class:`repro.api.SZConfig`; mutually exclusive with every
+        other keyword.
+    mode, bound
+        Error-bound mode (``abs``, ``rel``, ``pw_rel`` or ``psnr``) and
+        its parameter: an absolute bound, a range-relative fraction, a
+        pointwise-relative fraction in (0, 1), or a target PSNR in dB.
+        See :mod:`repro.core.bounds` for the guarantees.
+    abs_bound, rel_bound
+        Deprecated legacy bound pair (absolute and/or value-range
+        relative; with both, the tighter effective bound wins).
+        Mutually exclusive with ``mode``/``bound``; emits a
+        ``DeprecationWarning``.
+    layers
+        Prediction layers ``n`` (paper default 1; best layer is
+        data-dependent, see Table II).
+    interval_bits
+        ``m``: the encoder uses ``2^m - 1`` quantization intervals.
+    adaptive, theta
+        Retry with more intervals while the hitting rate is below
+        ``theta`` (automated form of the paper's Section IV-B advice).
+    block_size
+        Huffman chunk size (parallel-decode granularity).
+    entropy_coder
+        ``"huffman"`` (the paper's variable-length encoder, default) or
+        ``"arithmetic"`` — an out-of-paper extension using the adaptive
+        range coder (slower; removes Huffman's integer-bit rounding loss).
+    lossless_post
+        Run the finished container through the DEFLATE-like codec (SZ's
+        optional gzip pipe); kept only when it actually shrinks.
+    """
+    if config is None:
+        config = _shim_config(
+            abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, lossless_post, mode, bound,
+        )
+    else:
+        _reject_config_conflicts(
+            abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, lossless_post, mode, bound,
+        )
+    return compress_array(data, config)
 
 
 def _compress_pw_rel(
@@ -490,26 +580,99 @@ def compress(
     lossless_post: bool = False,
     mode: str | None = None,
     bound: float | None = None,
+    *,
+    config=None,
 ) -> bytes:
-    """Compress ``data``; see :func:`compress_with_stats` for parameters."""
-    blob, _ = compress_with_stats(
-        data, abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
-        block_size, entropy_coder, lossless_post, mode, bound,
-    )
+    """Compress ``data``; see :func:`compress_with_stats` for parameters.
+
+    The keywords are normalized into one :class:`repro.api.SZConfig`
+    here and forwarded keyword-only — the engine never sees a positional
+    parameter list that could silently reorder.
+    """
+    if config is None:
+        config = _shim_config(
+            abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, lossless_post, mode, bound,
+        )
+    else:
+        _reject_config_conflicts(
+            abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
+            block_size, entropy_coder, lossless_post, mode, bound,
+        )
+    blob, _ = compress_array(data, config)
     return blob
 
 
-def decompress(blob: bytes) -> np.ndarray:
+def _as_byte_view(buf):
+    """View any buffer-protocol object as flat bytes without copying.
+
+    ``bytes`` passes through untouched; everything else (``bytearray``,
+    ``memoryview``, ``mmap``, a NumPy array) becomes a flat ``uint8``
+    memoryview of the same memory — slicing a memoryview is zero-copy,
+    which is what keeps the whole decode path allocation-free on the
+    input side.
+    """
+    if isinstance(buf, bytes):
+        return buf
+    view = memoryview(buf)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    return view
+
+
+def _fill_out(result: np.ndarray, out) -> np.ndarray:
+    """Place ``result`` into the caller's ``out`` buffer; return the view.
+
+    ``out`` may be a writable ndarray (any shape of the right size and
+    dtype) or any writable buffer-protocol object of the right byte
+    length — the numcodecs ``decode(buf, out=chunk)`` reuse pattern.
+    """
+    if isinstance(out, np.ndarray):
+        dst = out
+        if dst.dtype != result.dtype:
+            raise ValueError(
+                f"out has dtype {dst.dtype}, container decodes to "
+                f"{result.dtype}"
+            )
+    else:
+        dst = np.frombuffer(out, dtype=result.dtype)
+    if dst.size != result.size:
+        raise ValueError(
+            f"out holds {dst.size} values, container decodes to "
+            f"{result.size}"
+        )
+    if dst.shape != result.shape:
+        reshaped = dst.reshape(result.shape)
+        if not np.shares_memory(reshaped, dst):
+            # reshape of a non-contiguous buffer silently copies; filling
+            # the copy would leave the caller's buffer untouched.
+            raise ValueError(
+                "out buffer is non-contiguous and cannot be viewed in the "
+                "decoded shape; pass a contiguous buffer or one of the "
+                "decoded shape"
+            )
+        dst = reshaped
+    dst[...] = result
+    return dst
+
+
+def decompress(blob, out=None) -> np.ndarray:
     """Decompress an SZ-1.4 (repro) container back to the full array.
 
     Accepts plain containers, ``lossless_post``-wrapped containers, and
     both entropy-coder variants — the container is self-describing.
+    ``blob`` may be any object exporting the buffer protocol (``bytes``,
+    ``bytearray``, ``memoryview``, ``mmap``); non-``bytes`` buffers are
+    read in place, never copied.  With ``out`` the decoded values are
+    written into the caller's buffer and the filled view is returned.
     """
+    blob = _as_byte_view(blob)
     with stage("lossless_unwrap", nbytes=len(blob)):
         blob = unwrap(blob)
     header, codec, stream, unpred_payload, constant, arith = read_container(blob)
     if header.is_constant:
-        return np.full(header.shape, constant, dtype=header.dtype)
+        result = np.full(header.shape, constant, dtype=header.dtype)
+        return result if out is None else _fill_out(result, out)
     expected = int(np.prod(header.shape))
     # pw_rel bodies encode the float64 log field; every other mode's body
     # lives directly in the advertised dtype.
@@ -544,26 +707,30 @@ def decompress(blob: bytes) -> np.ndarray:
             )
         plan = _get_plan(header.shape, header.layers)
         radius = interval_radius(header.interval_bits)
-        out = wavefront_decompress(
+        result = wavefront_decompress(
             codes, unpred_recon, plan, header.eb_abs, radius, inner_dtype
         )
         if header.mode == "pw_rel":
-            out = pw_postcondition(out, header.side_payload, header.dtype)
-        return out
+            result = pw_postcondition(
+                result, header.side_payload, header.dtype
+            )
+        return result if out is None else _fill_out(result, out)
     except (EOFError, IndexError) as exc:
         # A corrupted (but length-preserving) payload must fail with the
         # same clean ValueError contract as a truncated container.
         raise ValueError(f"corrupt SZ-1.4 container: {exc}") from exc
 
 
-def container_info(blob: bytes) -> dict:
+def container_info(blob) -> dict:
     """Inspect a container without decompressing it.
 
     Returns a dict with shape, dtype, bounds, layer/interval settings,
     unpredictable count and the entropy/post-pass variants in use.
+    Accepts any buffer-protocol object, like :func:`decompress`.
     """
     from repro.core.lossless_post import is_wrapped
 
+    blob = _as_byte_view(blob)
     wrapped = is_wrapped(blob)
     header = read_container(unwrap(blob))[0]
     return {
@@ -586,7 +753,12 @@ def container_info(blob: bytes) -> dict:
 class SZ14Compressor:
     """Object-style façade holding default parameters.
 
-    >>> sz = SZ14Compressor(rel_bound=1e-4, layers=1)
+    A thin shim over :class:`repro.api.SZConfig` /
+    :class:`repro.api.Codec`: pass ``config=`` directly, or the
+    historical keywords (the ``abs_bound``/``rel_bound`` pair is
+    deprecated, like everywhere else).
+
+    >>> sz = SZ14Compressor(mode="rel", bound=1e-4, layers=1)
     >>> blob = sz.compress(np.zeros((4, 4), dtype=np.float32) + 1)
     >>> sz.decompress(blob).shape
     (4, 4)
@@ -606,7 +778,24 @@ class SZ14Compressor:
         lossless_post: bool = False,
         mode: str | None = None,
         bound: float | None = None,
+        *,
+        config=None,
     ) -> None:
+        if abs_bound is not None or rel_bound is not None:
+            warnings.warn(LEGACY_BOUND_MSG, DeprecationWarning, stacklevel=2)
+        self._config = config
+        if config is not None:
+            _reject_config_conflicts(
+                abs_bound, rel_bound, layers, interval_bits, adaptive,
+                theta, 4096, entropy_coder, lossless_post, mode, bound,
+            )
+            spec = config.error_bound
+            abs_bound, rel_bound = spec.abs_bound, spec.rel_bound
+            mode, bound = spec.mode, spec.param
+            layers, interval_bits = config.layers, config.interval_bits
+            adaptive, theta = config.adaptive, config.theta
+            entropy_coder = config.entropy_coder
+            lossless_post = config.lossless_post
         self.abs_bound = abs_bound
         self.rel_bound = rel_bound
         self.layers = layers
@@ -618,7 +807,27 @@ class SZ14Compressor:
         self.mode = mode
         self.bound = bound
 
-    def _kwargs(self, **overrides):
+    def _resolved_config(self, **overrides):
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        if overrides.get("abs_bound") is not None or overrides.get(
+            "rel_bound"
+        ) is not None:
+            warnings.warn(LEGACY_BOUND_MSG, DeprecationWarning, stacklevel=3)
+        if self._config is not None:
+            legacy = {
+                k: overrides.pop(k)
+                for k in ("abs_bound", "rel_bound")
+                if k in overrides
+            }
+            if legacy:
+                overrides["error_bound"] = ErrorBound.from_args(
+                    None, None, legacy.get("abs_bound"), legacy.get("rel_bound")
+                )
+            return (
+                self._config.replace(**overrides)
+                if overrides
+                else self._config
+            )
         kwargs = dict(
             abs_bound=self.abs_bound,
             rel_bound=self.rel_bound,
@@ -631,19 +840,22 @@ class SZ14Compressor:
             mode=self.mode,
             bound=self.bound,
         )
-        kwargs.update({k: v for k, v in overrides.items() if v is not None})
-        return kwargs
+        kwargs.update(overrides)
+        from repro.api.config import SZConfig
+
+        return SZConfig.from_kwargs(**kwargs)
 
     def compress(self, data: np.ndarray, **overrides) -> bytes:
-        return compress(data, **self._kwargs(**overrides))
+        blob, _ = compress_array(data, self._resolved_config(**overrides))
+        return blob
 
     def compress_with_stats(
         self, data: np.ndarray, **overrides
     ) -> tuple[bytes, CompressionStats]:
-        return compress_with_stats(data, **self._kwargs(**overrides))
+        return compress_array(data, self._resolved_config(**overrides))
 
-    def decompress(self, blob: bytes) -> np.ndarray:
-        return decompress(blob)
+    def decompress(self, blob, out=None) -> np.ndarray:
+        return decompress(blob, out=out)
 
     @property
     def intervals(self) -> int:

@@ -99,7 +99,7 @@ def compress_sliced(
     if abs_bound is None or abs_bound <= 0:
         raise ValueError("resolved bound must be positive")
     blobs = [
-        _compress(np.ascontiguousarray(data[i]), abs_bound=abs_bound, **sz_kwargs)
+        _compress(np.ascontiguousarray(data[i]), mode="abs", bound=abs_bound, **sz_kwargs)
         for i in range(data.shape[0])
     ]
     out = bytearray(_MAGIC)

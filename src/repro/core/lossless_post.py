@@ -27,12 +27,18 @@ def wrap(container: bytes, max_chain: int = 8) -> bytes:
     return packed
 
 
-def is_wrapped(blob: bytes) -> bool:
+def is_wrapped(blob) -> bool:
+    """Accepts bytes or any flat byte view (memoryview slices compare
+    by content against bytes, so no copy happens here)."""
     return blob[:4] == _MAGIC
 
 
-def unwrap(blob: bytes) -> bytes:
-    """Undo :func:`wrap`; a plain container passes through unchanged."""
+def unwrap(blob):
+    """Undo :func:`wrap`; a plain container passes through unchanged.
+
+    ``blob`` may be ``bytes`` or a flat ``uint8`` memoryview — an
+    unwrapped container is returned as the same object (zero-copy).
+    """
     if is_wrapped(blob):
         return deflate_decompress(blob[4:])
     return blob

@@ -234,8 +234,10 @@ def _read_container(
             raise EOFError("truncated container: symbol stream")
         stream = None
         arith = b""
+        # Slices of a memoryview input stay zero-copy views; only a
+        # bytes input pays the (unavoidable) bytes-slice copy.
         if header.is_arithmetic:
-            arith = bytes(blob[pos : pos + stream_len])
+            arith = blob[pos : pos + stream_len]
         else:
             stream = EncodedStream.from_bytes(blob[pos : pos + stream_len])
         pos += stream_len
@@ -243,14 +245,14 @@ def _read_container(
         pos += 6
         if pos + unpred_len > len(blob):
             raise EOFError("truncated container: unpredictable payload")
-        payload = bytes(blob[pos : pos + unpred_len])
+        payload = blob[pos : pos + unpred_len]
         pos += unpred_len
         if version == MODED_VERSION:
             side_len = int.from_bytes(blob[pos : pos + 6], "big")
             pos += 6
             if pos + side_len > len(blob):
                 raise EOFError("truncated container: mode side payload")
-            header.side_payload = bytes(blob[pos : pos + side_len])
+            header.side_payload = blob[pos : pos + side_len]
         return header, codec, stream, payload, 0.0, arith
     except EOFError as exc:
         raise ValueError(f"truncated SZ-1.4 container: {exc}") from exc

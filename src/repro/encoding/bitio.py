@@ -83,7 +83,8 @@ class BitWriter:
         :meth:`getvalue`, so later mutation of the caller's array must
         not change what was appended).
         """
-        values = np.asarray(values).astype(np.uint64, copy=True).ravel()
+        raw = np.asarray(values).ravel()
+        values = raw.astype(np.uint64, copy=True)
         lengths = np.asarray(lengths, dtype=np.int64).ravel()
         if values.shape != lengths.shape:
             raise ValueError("values and lengths must have identical shapes")
@@ -91,6 +92,15 @@ class BitWriter:
             return
         if int(lengths.min()) < 0 or int(lengths.max()) > 64:
             raise ValueError("lengths must be within [0, 64]")
+        if raw.dtype.kind in "if" and float(raw.min()) < 0:
+            # A negative would survive the unsigned cast as its two's-
+            # complement wrap and dodge the width check below for 64-bit
+            # fields; reject it like write() does.
+            bad = int(np.flatnonzero(raw < 0)[0])
+            raise ValueError(
+                f"value {int(raw[bad])} does not fit in "
+                f"{int(lengths[bad])} bits"
+            )
         # Same contract as write(): a value wider than its field is an
         # error, not a silent truncation.  (Shift by 63 max — 64-bit
         # fields always fit; zero-width fields are no-ops like write(v, 0).)
@@ -191,7 +201,13 @@ class BitReader:
     """Scalar MSB-first reader over ``bytes`` / ``uint8`` buffers."""
 
     def __init__(self, buf: bytes | np.ndarray, bitpos: int = 0) -> None:
-        self._buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+        # Zero-copy view over any C-contiguous buffer (bytes, bytearray,
+        # memoryview, mmap, ndarray); only a non-contiguous source pays
+        # for a flattening copy.
+        try:
+            self._buf = np.frombuffer(buf, dtype=np.uint8)
+        except (ValueError, TypeError, BufferError):
+            self._buf = np.frombuffer(bytes(buf), dtype=np.uint8)
         self._pos = bitpos
 
     @property

@@ -47,7 +47,7 @@ def run_layers(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) -> 
     for dataset, variable in (("ATM", "FREQSH"), ("ATM", "PHIS"), ("Hurricane", "U")):
         data = load(dataset, scale=scale, seed=seed)[variable]
         for n in (1, 2, 3, 4):
-            blob, stats = compress_with_stats(data, rel_bound=rel_bound, layers=n)
+            blob, stats = compress_with_stats(data, mode="rel", bound=rel_bound, layers=n)
             out = decompress(blob)
             assert max_rel_error(data, out) <= rel_bound
             table.add(
@@ -66,7 +66,7 @@ def run_intervals(scale: str = "small", seed: int = 0) -> Table:
     for rel_bound in (1e-3, 1e-5):
         for m in (4, 6, 8, 10, 12, 14, 16):
             blob, stats = compress_with_stats(
-                data, rel_bound=rel_bound, interval_bits=m
+                data, mode="rel", bound=rel_bound, interval_bits=m
             )
             table.add(
                 eb_rel=f"{rel_bound:.0e}",
@@ -87,7 +87,7 @@ def run_entropy(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) ->
     table = Table(f"Ablation: entropy stage (eb_rel={rel_bound:g})")
     data = load("ATM", scale=scale, seed=seed)["FREQSH"]
     # raw m-bit packing baseline: quantization codes stored flat
-    blob_h, stats_h = compress_with_stats(data, rel_bound=rel_bound)
+    blob_h, stats_h = compress_with_stats(data, mode="rel", bound=rel_bound)
     m = stats_h.interval_bits
     raw_bits = data.size * m  # codes at m bits each, no entropy coding
     unpred_share = stats_h.n_unpredictable / data.size
@@ -102,7 +102,7 @@ def run_entropy(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) ->
         cf=round(stats_h.compression_factor, 2),
     )
     blob_a, stats_a = compress_with_stats(
-        data, rel_bound=rel_bound, entropy_coder="arithmetic"
+        data, mode="rel", bound=rel_bound, entropy_coder="arithmetic"
     )
     table.add(
         stage="arithmetic coder (extension)",
@@ -110,7 +110,7 @@ def run_entropy(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) ->
         cf=round(stats_a.compression_factor, 2),
     )
     blob_p, stats_p = compress_with_stats(
-        data, rel_bound=rel_bound, lossless_post=True
+        data, mode="rel", bound=rel_bound, lossless_post=True
     )
     table.add(
         stage="Huffman + DEFLATE post-pass",
@@ -130,7 +130,7 @@ def run_quantization(scale: str = "small", seed: int = 0, rel_bound: float = 1e-
         f"Ablation: error-controlled vs vector quantization (eb_rel={rel_bound:g})"
     )
     data = load("ATM", scale=scale, seed=seed)["FREQSH"]
-    blob, stats = compress_with_stats(data, rel_bound=rel_bound)
+    blob, stats = compress_with_stats(data, mode="rel", bound=rel_bound)
     out = decompress(blob)
     table.add(
         scheme="SZ-1.4 error-controlled (uniform intervals)",
@@ -167,7 +167,7 @@ def run_tiles(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) -> T
 
     table = Table(f"Ablation: tile size (eb_rel={rel_bound:g})")
     data = load("Hurricane", scale=scale, seed=seed)["U"]
-    blob_whole, stats_whole = compress_with_stats(data, rel_bound=rel_bound)
+    blob_whole, stats_whole = compress_with_stats(data, mode="rel", bound=rel_bound)
     table.add(
         tiling="whole array (v1)",
         tiles=1,
@@ -179,7 +179,7 @@ def run_tiles(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) -> T
     roi = tuple(slice(s // 3, s // 3 + max(1, s // 6)) for s in data.shape)
     for side in (8, 16, 32):
         tile = tuple(min(side, s) for s in data.shape)
-        blob = compress_tiled(data, tile_shape=tile, rel_bound=rel_bound)
+        blob = compress_tiled(data, tile_shape=tile, mode="rel", bound=rel_bound)
         info = tiled_container_info(blob)
         stats = tile_ratio_stats(
             info["tile_bytes"], info["tile_values"], data.dtype.itemsize

@@ -132,10 +132,13 @@ def _failed(name, reason) -> CompressorResult:
 
 def run_sz14(data: np.ndarray, rel_bound: float | None = None,
              abs_bound: float | None = None, **kw) -> CompressorResult:
-    t0 = time.perf_counter()
-    blob, _ = compress_with_stats(
-        data, rel_bound=rel_bound, abs_bound=abs_bound, **kw
+    from repro.api import SZConfig
+
+    config = SZConfig.from_kwargs(
+        abs_bound=abs_bound, rel_bound=rel_bound, **kw
     )
+    t0 = time.perf_counter()
+    blob, _ = compress_with_stats(data, config=config)
     t1 = time.perf_counter()
     out = decompress(blob)
     t2 = time.perf_counter()

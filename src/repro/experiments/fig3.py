@@ -24,7 +24,7 @@ def run(scale: str = "small", seed: int = 0, spread: int = 8) -> Table:
         "ATM-like FREQSH)"
     )
     for eb_rel in (1e-3, 1e-4):
-        _, stats = compress_with_stats(data, rel_bound=eb_rel, interval_bits=8)
+        _, stats = compress_with_stats(data, mode="rel", bound=eb_rel, interval_bits=8)
         hist = stats.code_histogram.astype(np.float64)
         shares = hist / hist.sum()
         center = 128

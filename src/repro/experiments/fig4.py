@@ -30,7 +30,7 @@ def run(scale: str = "small", seed: int = 0) -> Table:
             row = {"panel": dataset, "intervals": (1 << m) - 1}
             for eb in ERROR_BOUNDS:
                 _, stats = compress_with_stats(
-                    data, rel_bound=eb, interval_bits=m
+                    data, mode="rel", bound=eb, interval_bits=m
                 )
                 row[f"eb {eb:.0e}"] = f"{stats.hit_rate:.1%}"
             table.add(**row)

@@ -36,7 +36,7 @@ def run(scale: str = "small", seed: int = 0, rel_bound: float = 1e-4) -> Table:
         data = atm[variable]
         eb = rel_bound * float(data.max() - data.min())
 
-        blob = compress(data, abs_bound=eb)
+        blob = compress(data, mode="abs", bound=eb)
         sz_out = decompress(blob)
         sz_acf = error_acf(data, sz_out)
         sz_cf = data.nbytes / len(blob)

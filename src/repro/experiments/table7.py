@@ -29,7 +29,7 @@ def run_measured(scale: str = "small", seed: int = 0, mode: str = "comp") -> Tab
     data = load("ATM", scale=scale, seed=seed)["FREQSH"]
     cores = os.cpu_count() or 1
     counts = [p for p in (1, 2, 4, 8, 16, 32) if p <= cores]
-    rows = measure_pool_scaling(data, counts, rel_bound=1e-4)
+    rows = measure_pool_scaling(data, counts, mode="rel", bound=1e-4)
     key = "comp_speed_mb_s" if mode == "comp" else "decomp_speed_mb_s"
     table = Table(f"Table VII (measured, local): parallel {mode} scaling")
     for r in rows:

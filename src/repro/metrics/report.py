@@ -116,7 +116,7 @@ def evaluate(
     """Run one compressor over ``data`` and collect every metric.
 
     ``compress_fn``/``decompress_fn`` are callables, e.g.
-    ``lambda d: repro.compress(d, rel_bound=1e-4)`` and
+    ``lambda d: repro.compress(d, mode="rel", bound=1e-4)`` and
     ``repro.decompress``.
     """
     data = np.asarray(data)

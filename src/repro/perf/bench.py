@@ -68,14 +68,12 @@ def synth_field(shape: tuple[int, ...], dtype: str, seed: int = 0) -> np.ndarray
     return field.astype(_DTYPES[dtype])
 
 
-def _mode_kwargs(mode: str) -> dict:
-    """compress() arguments realizing one sweep mode."""
-    return {
-        "abs": {"mode": "abs", "bound": 1e-3},
-        "rel": {"mode": "rel", "bound": 1e-4},
-        "pw_rel": {"mode": "pw_rel", "bound": 1e-3},
-        "psnr": {"mode": "psnr", "bound": 84.0},
-    }[mode]
+def _mode_config(mode: str):
+    """The :class:`repro.api.SZConfig` realizing one sweep mode."""
+    from repro.api import SZConfig
+
+    bound = {"abs": 1e-3, "rel": 1e-4, "pw_rel": 1e-3, "psnr": 84.0}[mode]
+    return SZConfig.from_kwargs(mode=mode, bound=bound)
 
 
 def calibrate(repeats: int = 5) -> float:
@@ -131,13 +129,13 @@ def _run_case(
     mode: str,
     repeats: int,
 ) -> dict:
-    from repro.core import compress, decompress
+    from repro.api import Codec
 
     field = synth_field(shape, dtype, seed=len(shape))
-    kwargs = _mode_kwargs(mode)
+    codec = Codec(_mode_config(mode))
     # warm-up: plan caches, first-touch allocations
-    blob = compress(field, **kwargs)
-    decompress(blob)
+    blob = codec.encode(field)
+    codec.decode(blob)
 
     c_times: list[float] = []
     d_times: list[float] = []
@@ -146,12 +144,12 @@ def _run_case(
     for _ in range(repeats):
         with StageTimer() as ct:
             t0 = time.perf_counter()
-            blob = compress(field, **kwargs)
+            blob = codec.encode(field)
             c_times.append(time.perf_counter() - t0)
         c_timers.append(ct)
         with StageTimer() as dt_:
             t0 = time.perf_counter()
-            out = decompress(blob)
+            out = codec.decode(blob)
             d_times.append(time.perf_counter() - t0)
         d_timers.append(dt_)
     if out.shape != field.shape:

@@ -45,7 +45,7 @@ class TestSZ11:
         from repro.core import compress as sz14_compress
 
         sz11_blob = SZ11(rel_bound=1e-4).compress(smooth2d)
-        sz14_blob = sz14_compress(smooth2d, rel_bound=1e-4)
+        sz14_blob = sz14_compress(smooth2d, mode="rel", bound=1e-4)
         assert len(sz14_blob) < len(sz11_blob)
 
     def test_nan_handled(self):

@@ -102,6 +102,24 @@ class TestBitWriterReader:
             w2.write(int(b), 1)
         assert w1.getvalue() == w2.getvalue()
 
+    def test_write_array_rejects_negatives_like_write(self):
+        # A negative must raise for every width — including 64-bit
+        # fields, where the unsigned cast would otherwise silently wrap
+        # it to its two's-complement pattern.
+        for width in (8, 63, 64):
+            with pytest.raises(ValueError, match="does not fit"):
+                BitWriter().write_array(
+                    np.array([-1], dtype=np.int64),
+                    np.array([width], dtype=np.int64),
+                )
+        # the full unsigned range still packs
+        w = BitWriter()
+        w.write_array(
+            np.array([2**64 - 1], dtype=np.uint64),
+            np.array([64], dtype=np.int64),
+        )
+        assert w.getvalue() == b"\xff" * 8
+
 
 class TestPackVarlen:
     def test_empty(self):

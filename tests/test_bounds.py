@@ -99,17 +99,17 @@ class TestResolveThroughCompressor:
         instead of failing with eb=0 deeper in the pipeline."""
         data = np.array([5.0, 5.0, np.nan, 5.0])
         with pytest.raises(ValueError, match="constant"):
-            compress(data, rel_bound=1e-4)
+            compress(data, mode="rel", bound=1e-4)
 
     def test_constant_finite_field_still_fine(self):
         data = np.full(64, 5.0)
         np.testing.assert_array_equal(
-            decompress(compress(data, rel_bound=1e-4)), data
+            decompress(compress(data, mode="rel", bound=1e-4)), data
         )
 
     def test_abs_bound_on_constant_plus_nan_works(self):
         data = np.array([5.0, 5.0, np.nan, 5.0])
-        out = decompress(compress(data, abs_bound=1e-3))
+        out = decompress(compress(data, mode="abs", bound=1e-3))
         assert np.isnan(out[2]) and np.abs(out[[0, 1, 3]] - 5.0).max() <= 1e-3
 
 

@@ -84,7 +84,7 @@ class TestRoundtrip:
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
     def test_abs_bound_every_element(self, shape, tile, dtype):
         data = _field(shape, dtype)
-        blob = compress_tiled(data, tile_shape=tile, abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=tile, mode="abs", bound=1e-3)
         out = decompress_tiled(blob)
         assert out.shape == data.shape and out.dtype == data.dtype
         assert np.abs(out - data).max() <= 1e-3
@@ -94,7 +94,7 @@ class TestRoundtrip:
     )
     def test_rel_bound_every_element(self, shape, tile):
         data = _field(shape)
-        blob = compress_tiled(data, tile_shape=tile, rel_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=tile, mode="rel", bound=1e-3)
         out = decompress_tiled(blob)
         eb = 1e-3 * float(data.max() - data.min())
         # per-tile ranges <= global range, so the array-level relative
@@ -103,9 +103,9 @@ class TestRoundtrip:
 
     def test_int_tile_shape_and_default(self):
         data = _field((40, 40))
-        blob = compress_tiled(data, tile_shape=16, abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=16, mode="abs", bound=1e-3)
         assert tiled_container_info(blob)["tile_shape"] == (16, 16)
-        blob2 = compress_tiled(data, abs_bound=1e-3)
+        blob2 = compress_tiled(data, mode="abs", bound=1e-3)
         assert tiled_container_info(blob2)["n_tiles"] == 1  # 40x40 < 64k
 
     def test_default_tile_shape(self):
@@ -114,21 +114,21 @@ class TestRoundtrip:
 
     def test_constant_tiles(self):
         data = np.full((20, 20), 3.25, dtype=np.float32)
-        blob = compress_tiled(data, tile_shape=8, rel_bound=1e-4)
+        blob = compress_tiled(data, tile_shape=8, mode="rel", bound=1e-4)
         assert np.array_equal(decompress_tiled(blob), data)
 
     def test_workers_byte_identical(self):
         data = _field((40, 52))
-        serial = compress_tiled(data, tile_shape=(16, 16), rel_bound=1e-3)
+        serial = compress_tiled(data, tile_shape=(16, 16), mode="rel", bound=1e-3)
         fanned = compress_tiled(
-            data, tile_shape=(16, 16), rel_bound=1e-3, workers=3
+            data, tile_shape=(16, 16), mode="rel", bound=1e-3, workers=3
         )
         assert serial == fanned
 
     def test_compress_kwargs_forwarded(self):
         data = _field((30, 30))
         blob = compress_tiled(
-            data, tile_shape=15, abs_bound=1e-2, layers=2, interval_bits=10
+            data, tile_shape=15, mode="abs", bound=1e-2, layers=2, interval_bits=10
         )
         out = decompress_tiled(blob)
         assert np.abs(out - data).max() <= 1e-2
@@ -139,20 +139,20 @@ class TestRoundtrip:
 
     def test_scalar_rejected(self):
         with pytest.raises(ValueError):
-            compress_tiled(np.float32(1.0), abs_bound=0.1)
+            compress_tiled(np.float32(1.0), mode="abs", bound=0.1)
 
 
 class TestRegion:
     def test_matches_whole_array_decompression(self):
         data = _field((33, 47))
-        blob = compress_tiled(data, tile_shape=(8, 12), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(8, 12), mode="abs", bound=1e-3)
         full = decompress_tiled(blob)
         region = decompress_region(blob, (slice(5, 22), slice(30, 47)))
         assert np.array_equal(region, full[5:22, 30:47])
 
     def test_untouched_tiles_never_read(self):
         data = _field((64, 64))
-        blob = compress_tiled(data, tile_shape=(16, 16), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(16, 16), mode="abs", bound=1e-3)
         acc = ByteAccountant()
         decompress_region(blob, (slice(0, 10), slice(0, 10)), accountant=acc)
         with TiledReader(blob) as reader:
@@ -167,14 +167,14 @@ class TestRegion:
 
     def test_region_bytes_scale_with_roi(self):
         data = _field((64, 64))
-        blob = compress_tiled(data, tile_shape=(16, 16), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(16, 16), mode="abs", bound=1e-3)
         cost = region_of_interest_cost(blob, (slice(0, 16), slice(0, 16)))
         assert cost["tiles_read"] == 1 and cost["tiles_total"] == 16
         assert cost["read_fraction"] < 0.5
 
     def test_int_axis_drops(self):
         data = _field((12, 9, 7))
-        blob = compress_tiled(data, tile_shape=(4, 4, 4), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(4, 4, 4), mode="abs", bound=1e-3)
         full = decompress_tiled(blob)
         out = decompress_region(blob, (3, slice(1, 6)))
         assert out.shape == (5, 7)
@@ -182,19 +182,19 @@ class TestRegion:
 
     def test_negative_int(self):
         data = _field((10, 6))
-        blob = compress_tiled(data, tile_shape=(4, 4), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(4, 4), mode="abs", bound=1e-3)
         out = decompress_region(blob, (-1,))
         assert np.array_equal(out, decompress_tiled(blob)[-1])
 
     def test_partial_spec_pads_full_axes(self):
         data = _field((10, 6))
-        blob = compress_tiled(data, tile_shape=(4, 4), abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=(4, 4), mode="abs", bound=1e-3)
         out = decompress_region(blob, slice(2, 5))
         assert np.array_equal(out, decompress_tiled(blob)[2:5])
 
     def test_reader_getitem(self):
         data = _field((20, 20))
-        blob = compress_tiled(data, tile_shape=8, abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=8, mode="abs", bound=1e-3)
         with TiledReader(blob) as reader:
             got = reader[2:9, 11:20]
         assert np.array_equal(got, decompress_tiled(blob)[2:9, 11:20])
@@ -205,7 +205,7 @@ class TestStreaming:
         data = _field((37, 22, 18), np.float64)
         path = tmp_path / "stream.szt"
         with TiledWriter(
-            path, data.shape, (8, 8, 8), dtype=data.dtype, abs_bound=1e-3
+            path, data.shape, (8, 8, 8), dtype=data.dtype, mode="abs", bound=1e-3
         ) as writer:
             for row in range(writer.n_slabs):
                 start, stop = writer.slab_extent(row)
@@ -225,7 +225,7 @@ class TestStreaming:
                 yield data[start : min(start + 8, 50)]
 
         with TiledWriter(
-            path, data.shape, (8, 16), dtype=data.dtype, rel_bound=1e-3
+            path, data.shape, (8, 16), dtype=data.dtype, mode="rel", bound=1e-3
         ) as writer:
             writer.write_from(slabs())
         out = decompress_tiled(str(path))
@@ -235,10 +235,10 @@ class TestStreaming:
     def test_streamed_equals_one_shot(self, tmp_path):
         """The streaming writer and compress_tiled emit identical bytes."""
         data = _field((30, 21))
-        one_shot = compress_tiled(data, tile_shape=(8, 8), abs_bound=1e-3)
+        one_shot = compress_tiled(data, tile_shape=(8, 8), mode="abs", bound=1e-3)
         sink = io.BytesIO()
         with TiledWriter(
-            sink, data.shape, (8, 8), dtype=data.dtype, abs_bound=1e-3
+            sink, data.shape, (8, 8), dtype=data.dtype, mode="abs", bound=1e-3
         ) as writer:
             writer.write_array(data)
         assert sink.getvalue() == one_shot
@@ -249,7 +249,7 @@ class TestStreaming:
         np.save(src, data)
         out = tmp_path / "big.szt"
         summary = compress_file_tiled(
-            src, out, tile_shape=(8, 8), rel_bound=1e-3
+            src, out, tile_shape=(8, 8), mode="rel", bound=1e-3
         )
         assert summary["n_tiles"] == 30
         restored = decompress_tiled(str(out))
@@ -259,24 +259,24 @@ class TestStreaming:
     def test_unsupported_dtype_rejected_before_open(self, tmp_path):
         path = tmp_path / "ints.szt"
         with pytest.raises(TypeError, match="float32/float64"):
-            TiledWriter(path, (4, 4), (2, 2), dtype=np.int32, abs_bound=0.1)
+            TiledWriter(path, (4, 4), (2, 2), dtype=np.int32, mode="abs", bound=0.1)
         assert not path.exists()  # no stray truncated output file
 
     def test_wrong_slab_shape_rejected(self):
         writer = TiledWriter(
-            io.BytesIO(), (10, 10), (4, 10), abs_bound=1e-3
+            io.BytesIO(), (10, 10), (4, 10), mode="abs", bound=1e-3
         )
         with pytest.raises(ValueError, match="slab"):
             writer.write_slab(np.zeros((3, 10), dtype=np.float32))
 
     def test_incomplete_close_rejected(self):
-        writer = TiledWriter(io.BytesIO(), (10, 10), (4, 10), abs_bound=1e-3)
+        writer = TiledWriter(io.BytesIO(), (10, 10), (4, 10), mode="abs", bound=1e-3)
         writer.write_slab(np.zeros((4, 10), dtype=np.float32))
         with pytest.raises(ValueError, match="incomplete"):
             writer.close()
 
     def test_out_of_order_tiles_rejected(self):
-        writer = TiledWriter(io.BytesIO(), (8, 8), (4, 4), abs_bound=1e-3)
+        writer = TiledWriter(io.BytesIO(), (8, 8), (4, 4), mode="abs", bound=1e-3)
         with pytest.raises(ValueError, match="shape"):
             # tile 0 must be (4, 4); a trailing-edge shape is out of order
             writer.write_tiles([np.zeros((2, 4), dtype=np.float32)])
@@ -285,22 +285,22 @@ class TestStreaming:
 class TestDispatchAndInfo:
     def test_is_tiled(self):
         data = _field((16, 16))
-        assert is_tiled(compress_tiled(data, tile_shape=8, abs_bound=1e-3))
-        assert not is_tiled(compress(data, abs_bound=1e-3))
+        assert is_tiled(compress_tiled(data, tile_shape=8, mode="abs", bound=1e-3))
+        assert not is_tiled(compress(data, mode="abs", bound=1e-3))
 
     def test_decompress_any(self):
         data = _field((16, 16))
-        v1 = compress(data, abs_bound=1e-3)
-        v2 = compress_tiled(data, tile_shape=8, abs_bound=1e-3)
+        v1 = compress(data, mode="abs", bound=1e-3)
+        v2 = compress_tiled(data, tile_shape=8, mode="abs", bound=1e-3)
         assert np.abs(decompress_any(v1) - data).max() <= 1e-3
         assert np.abs(decompress_any(v2) - data).max() <= 1e-3
 
     def test_container_info_any(self):
         data = _field((16, 16))
-        info1 = container_info_any(compress(data, abs_bound=1e-3))
+        info1 = container_info_any(compress(data, mode="abs", bound=1e-3))
         assert info1["format"] == "v1" and info1["shape"] == (16, 16)
         info2 = container_info_any(
-            compress_tiled(data, tile_shape=8, abs_bound=1e-3)
+            compress_tiled(data, tile_shape=8, mode="abs", bound=1e-3)
         )
         assert info2["format"] == "tiled-v2"
         assert info2["n_tiles"] == 4
@@ -309,7 +309,7 @@ class TestDispatchAndInfo:
 
     def test_info_accounts_all_bytes(self):
         data = _field((20, 20))
-        blob = compress_tiled(data, tile_shape=8, abs_bound=1e-3)
+        blob = compress_tiled(data, tile_shape=8, mode="abs", bound=1e-3)
         info = tiled_container_info(blob)
         header_bytes = (
             len(blob) - info["payload_bytes"] - info["index_bytes"]
@@ -330,7 +330,7 @@ class TestDispatchAndInfo:
             write_header,
         )
 
-        tile_blob = compress(_field((8, 8)), abs_bound=1e-3)  # wrong shape
+        tile_blob = compress(_field((8, 8)), mode="abs", bound=1e-3)  # wrong shape
         head = write_header(
             TiledHeader(np.dtype(np.float32), (4, 4), (4, 4), 1e-3, None)
         )

@@ -256,6 +256,52 @@ class TestInfo:
         assert "n_tiles" in out
         assert "tile CF" in out and "tile hit rate" in out
 
+    def test_info_json_v1(self, tmp_path, capsys, smooth2d):
+        import json as _json
+
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.sz"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--mode", "abs",
+              "--bound", "0.01"])
+        capsys.readouterr()
+        assert main(["info", "--json", str(comp)]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["file"] == str(comp)
+        assert report["dtype"] == "float32" and report["mode"] == "abs"
+        # the embedded config is a valid SZConfig.to_dict() payload
+        from repro.api import SZConfig
+
+        cfg = SZConfig.from_dict(report["config"])
+        assert cfg.mode == "abs" and cfg.bound == 0.01
+
+    def test_info_json_tiled(self, tmp_path, capsys, smooth2d):
+        import json as _json
+
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--mode", "pw_rel",
+              "--bound", "1e-3", "--tile", "16"])
+        capsys.readouterr()
+        assert main(["info", "--json", str(comp)]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["format"] == "tiled-v3"
+        assert report["config"]["mode"] == "pw_rel"
+        assert report["config"]["bound"] == 1e-3
+        assert report["config"]["tile_shape"] == [16, 16]
+        assert isinstance(report["tile_bytes"], list)
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
 
 class TestAblation:
     def test_ablation_entropy(self, capsys):

@@ -10,7 +10,7 @@ from repro.core import compress, container_info
 
 class TestContainerInfo:
     def test_basic_fields(self, smooth2d):
-        blob = compress(smooth2d, rel_bound=1e-3, layers=2, interval_bits=10)
+        blob = compress(smooth2d, mode="rel", bound=1e-3, layers=2, interval_bits=10)
         info = container_info(blob)
         assert info["shape"] == smooth2d.shape
         assert info["dtype"] == "float32"
@@ -26,7 +26,7 @@ class TestContainerInfo:
     def test_variant_flags(self, smooth2d):
         small = smooth2d[:16, :16]
         blob = compress(
-            small, rel_bound=1e-2, entropy_coder="arithmetic",
+            small, mode="rel", bound=1e-2, entropy_coder="arithmetic",
             lossless_post=True,
         )
         info = container_info(blob)
@@ -35,13 +35,13 @@ class TestContainerInfo:
         assert info["lossless_post"] == (blob[:4] == b"SZPP")
 
     def test_constant(self):
-        blob = compress(np.full((8, 8), 2.5, dtype=np.float64), abs_bound=0.1)
+        blob = compress(np.full((8, 8), 2.5, dtype=np.float64), mode="abs", bound=0.1)
         info = container_info(blob)
         assert info["constant"] is True
         assert info["dtype"] == "float64"
 
     def test_unpredictable_count(self, spiky2d):
         eb = 1e-5 * float(spiky2d.max() - spiky2d.min())
-        blob = compress(spiky2d, abs_bound=eb, interval_bits=4)
+        blob = compress(spiky2d, mode="abs", bound=eb, interval_bits=4)
         info = container_info(blob)
         assert info["n_unpredictable"] > 0

@@ -35,7 +35,7 @@ class TestV1Truncation:
         still decode to the recorded shape — never IndexError, KeyError,
         struct noise, or a giant allocation."""
         data = _field((12, 12))
-        blob = compress(data, rel_bound=1e-3)
+        blob = compress(data, mode="rel", bound=1e-3)
         for cut in range(len(blob)):
             try:
                 out = decompress(blob[:cut])
@@ -47,7 +47,7 @@ class TestV1Truncation:
         """Regression: an inflated unpredictable count must be rejected
         before any allocation sized by it (was a MemoryError)."""
         data = _field((10, 14))
-        blob = bytearray(compress(data, rel_bound=1e-3))
+        blob = bytearray(compress(data, mode="rel", bound=1e-3))
         # unpred_count is the 48-bit field right before the Huffman
         # table; corrupt the header region until the reader objects.
         # Directly: unpred_count starts after magic(4)+ver..flags(5 bytes
@@ -74,14 +74,14 @@ class TestV1Truncation:
 
     def test_corrupt_dtype_code_rejected(self):
         data = _field((8, 8))
-        blob = bytearray(compress(data, rel_bound=1e-3))
+        blob = bytearray(compress(data, mode="rel", bound=1e-3))
         blob[5] = 0x7F  # dtype code byte
         with pytest.raises(ValueError, match="dtype"):
             decompress(bytes(blob))
 
     def test_zero_extent_rejected(self):
         data = _field((8, 8))
-        blob = bytearray(compress(data, rel_bound=1e-3))
+        blob = bytearray(compress(data, mode="rel", bound=1e-3))
         # zero out the first shape field (48 bits starting at byte 10)
         for i in range(10, 16):
             blob[i] = 0
@@ -93,7 +93,7 @@ class TestV2Truncation:
     @pytest.fixture()
     def container(self):
         data = _field((24, 20))
-        return data, compress_tiled(data, tile_shape=(8, 8), rel_bound=1e-3)
+        return data, compress_tiled(data, tile_shape=(8, 8), mode="rel", bound=1e-3)
 
     def test_every_prefix_fails_cleanly(self, container):
         """Truncating a v2 container at any byte — header, any tile

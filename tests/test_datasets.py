@@ -91,14 +91,14 @@ class TestClimate:
         from repro.core import compress
 
         f = freqsh_like((384, 768), seed=0)
-        cf = f.nbytes / len(compress(f, rel_bound=1e-4))
+        cf = f.nbytes / len(compress(f, mode="rel", bound=1e-4))
         assert 3.0 < cf < 12.0
 
     def test_snowhlnd_compresses_like_high_cf_variable(self):
         from repro.core import compress
 
         f = snowhlnd_like((384, 768))
-        cf = f.nbytes / len(compress(f, rel_bound=1e-4))
+        cf = f.nbytes / len(compress(f, mode="rel", bound=1e-4))
         assert cf > 18.0
 
 

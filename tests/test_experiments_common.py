@@ -89,6 +89,6 @@ class TestRunners:
             assert res.rho == pytest.approx(1.0)
 
     def test_lossless_runners_ignore_bounds(self, field):
-        a = run_fpzip(field, rel_bound=1e-3)
+        a = run_fpzip(field, mode="rel", bound=1e-3)
         b = run_fpzip(field)
         assert a.cf == b.cf

@@ -84,40 +84,40 @@ class TestLosslessPost:
 class TestCompressorIntegration:
     def test_arithmetic_coder_roundtrip(self, smooth2d):
         small = smooth2d[:24, :32]
-        blob = compress(small, rel_bound=1e-3, entropy_coder="arithmetic")
+        blob = compress(small, mode="rel", bound=1e-3, entropy_coder="arithmetic")
         out = decompress(blob)
         eb = 1e-3 * float(small.max() - small.min())
         assert np.abs(out - small).max() <= eb
 
     def test_arithmetic_competitive_with_huffman(self, smooth2d):
         small = smooth2d[:32, :40]
-        h = len(compress(small, rel_bound=1e-3))
-        a = len(compress(small, rel_bound=1e-3, entropy_coder="arithmetic"))
+        h = len(compress(small, mode="rel", bound=1e-3))
+        a = len(compress(small, mode="rel", bound=1e-3, entropy_coder="arithmetic"))
         # no Huffman table in the container and sub-bit codes: the range
         # coder should be in the same ballpark or better on skewed codes
         assert a < 1.3 * h
 
     def test_unknown_coder_rejected(self, smooth2d):
         with pytest.raises(ValueError):
-            compress(smooth2d, rel_bound=1e-3, entropy_coder="zstd")
+            compress(smooth2d, mode="rel", bound=1e-3, entropy_coder="zstd")
 
     def test_lossless_post_roundtrip(self, smooth2d):
         blob, stats = compress_with_stats(
-            smooth2d, rel_bound=1e-3, lossless_post=True
+            smooth2d, mode="rel", bound=1e-3, lossless_post=True
         )
         out = decompress(blob)
         eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
         assert np.abs(out - smooth2d).max() <= eb
 
     def test_lossless_post_never_larger(self, smooth2d):
-        plain = len(compress(smooth2d, rel_bound=1e-3))
-        post = len(compress(smooth2d, rel_bound=1e-3, lossless_post=True))
+        plain = len(compress(smooth2d, mode="rel", bound=1e-3))
+        post = len(compress(smooth2d, mode="rel", bound=1e-3, lossless_post=True))
         assert post <= plain
 
     def test_combined_options(self, smooth2d):
         small = smooth2d[:20, :20]
         blob = compress(
-            small, rel_bound=1e-2, entropy_coder="arithmetic",
+            small, mode="rel", bound=1e-2, entropy_coder="arithmetic",
             lossless_post=True, layers=2,
         )
         out = decompress(blob)

@@ -31,7 +31,7 @@ class TestArchive:
         }
 
     def test_roundtrip(self, bundle):
-        archive = create_archive(arrays=bundle, rel_bound=1e-4)
+        archive = create_archive(arrays=bundle, mode="rel", bound=1e-4)
         out = extract_all(archive)
         assert set(out) == set(bundle)
         for name, arr in bundle.items():
@@ -39,13 +39,13 @@ class TestArchive:
             assert np.abs(out[name].astype(np.float64) - arr.astype(np.float64)).max() <= 1e-4 * rng_
 
     def test_manifest(self, bundle):
-        archive = create_archive(arrays=bundle, rel_bound=1e-3)
+        archive = create_archive(arrays=bundle, mode="rel", bound=1e-3)
         entries = read_manifest(archive)
         assert [e.name for e in entries] == sorted(bundle)
         assert sum(e.length for e in entries) + entries[0].offset == len(archive)
 
     def test_single_extract(self, bundle):
-        archive = create_archive(arrays=bundle, rel_bound=1e-3)
+        archive = create_archive(arrays=bundle, mode="rel", bound=1e-3)
         temp = extract(archive, "temp")
         assert temp.shape == (20, 30)
         with pytest.raises(KeyError):
@@ -56,20 +56,20 @@ class TestArchive:
             np.save(tmp_path / f"{name}.npy", arr)
         out_file = tmp_path / "bundle.szar"
         archive = create_archive(
-            directory=tmp_path, out_path=out_file, rel_bound=1e-3
+            directory=tmp_path, out_path=out_file, mode="rel", bound=1e-3
         )
         assert out_file.read_bytes() == archive
         assert {e.name for e in read_manifest(archive)} == set(bundle)
 
     def test_parallel_workers_match_serial(self, bundle):
-        serial = create_archive(arrays=bundle, rel_bound=1e-3, n_workers=1)
-        parallel = create_archive(arrays=bundle, rel_bound=1e-3, n_workers=2)
+        serial = create_archive(arrays=bundle, mode="rel", bound=1e-3, n_workers=1)
+        parallel = create_archive(arrays=bundle, mode="rel", bound=1e-3, n_workers=2)
         assert serial == parallel
         out = extract_all(parallel, n_workers=2)
         assert set(out) == set(bundle)
 
     def test_archive_info(self, bundle):
-        archive = create_archive(arrays=bundle, rel_bound=1e-3)
+        archive = create_archive(arrays=bundle, mode="rel", bound=1e-3)
         rows = archive_info(archive)
         assert len(rows) == 3
         for row in rows:
@@ -83,13 +83,13 @@ class TestArchive:
             read_manifest(b"NOPE" + b"\x00" * 20)
 
     def test_truncated_archive(self, bundle):
-        archive = create_archive(arrays=bundle, rel_bound=1e-3)
+        archive = create_archive(arrays=bundle, mode="rel", bound=1e-3)
         with pytest.raises(ValueError):
             read_manifest(archive[: len(archive) - 50])
 
     def test_tiled_entries(self, bundle):
         archive = create_archive(
-            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+            arrays=bundle, mode="rel", bound=1e-3, tile_shape=(8, 8)
         )
         rows = archive_info(archive)
         assert all(row["format"] == "tiled-v2" for row in rows)
@@ -106,19 +106,19 @@ class TestArchive:
         from repro.parallel.files import extract_region
 
         archive = create_archive(
-            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+            arrays=bundle, mode="rel", bound=1e-3, tile_shape=(8, 8)
         )
         whole = extract(archive, "temp")
         roi = extract_region(archive, "temp", (slice(4, 12), slice(20, 30)))
         assert np.array_equal(roi, whole[4:12, 20:30])
         # v1 entries fall back to decode-then-slice
-        flat = create_archive(arrays=bundle, rel_bound=1e-3)
+        flat = create_archive(arrays=bundle, mode="rel", bound=1e-3)
         roi_v1 = extract_region(flat, "temp", (slice(4, 12), slice(20, 30)))
         assert roi_v1.shape == (8, 10)
 
     def test_tiled_parallel_extract(self, bundle):
         archive = create_archive(
-            arrays=bundle, rel_bound=1e-3, tile_shape=(8, 8)
+            arrays=bundle, mode="rel", bound=1e-3, tile_shape=(8, 8)
         )
         out = extract_all(archive, n_workers=2)
         assert set(out) == set(bundle)
@@ -128,7 +128,7 @@ class TestQualityReport:
     def test_full_report(self, smooth2d):
         rep = evaluate(
             smooth2d,
-            lambda d: repro.compress(d, rel_bound=1e-4),
+            lambda d: repro.compress(d, mode="rel", bound=1e-4),
             repro.decompress,
         )
         assert rep.within(rel_bound=1e-4)
@@ -140,7 +140,7 @@ class TestQualityReport:
     def test_markdown_rendering(self, smooth2d):
         rep = evaluate(
             smooth2d,
-            lambda d: repro.compress(d, rel_bound=1e-3),
+            lambda d: repro.compress(d, mode="rel", bound=1e-3),
             repro.decompress,
         )
         md = rep.to_markdown()
@@ -150,7 +150,7 @@ class TestQualityReport:
     def test_within_checks_abs(self, smooth2d):
         rep = evaluate(
             smooth2d,
-            lambda d: repro.compress(d, abs_bound=0.01),
+            lambda d: repro.compress(d, mode="abs", bound=0.01),
             repro.decompress,
         )
         assert rep.within(abs_bound=0.01)
@@ -195,7 +195,7 @@ class TestLayout:
         assert err <= 1e-3 * rng_
 
     def test_slicing_beats_full_d_on_independent_frames(self, independent_slices):
-        naive = repro.compress(independent_slices, rel_bound=1e-3)
+        naive = repro.compress(independent_slices, mode="rel", bound=1e-3)
         sliced = compress_sliced(independent_slices, rel_bound=1e-3)
         assert len(sliced) < len(naive)
 

@@ -52,11 +52,19 @@ class TestV1Golden:
 
     def test_abs_recompress_byte_identical(self):
         field = np.load(GOLDEN / "field_f32.npy")
-        assert compress(field, abs_bound=1e-3) == _blob("v1_abs_1e-3.sz")
+        # The deprecated legacy spelling must keep producing the exact
+        # archived bytes (shim byte-identity), as must the mode spelling.
+        with pytest.warns(DeprecationWarning):
+            legacy = compress(field, abs_bound=1e-3)
+        assert legacy == _blob("v1_abs_1e-3.sz")
+        assert compress(field, mode="abs", bound=1e-3) == _blob("v1_abs_1e-3.sz")
 
     def test_rel_recompress_byte_identical(self):
         field = np.load(GOLDEN / "field_f32.npy")
-        blob = compress(field, rel_bound=1e-4, layers=2, interval_bits=10)
+        with pytest.warns(DeprecationWarning):
+            legacy = compress(field, rel_bound=1e-4, layers=2, interval_bits=10)
+        assert legacy == _blob("v1_rel_1e-4.sz")
+        blob = compress(field, mode="rel", bound=1e-4, layers=2, interval_bits=10)
         assert blob == _blob("v1_rel_1e-4.sz")
 
     def test_untagged_blob_reports_mode_abs(self):
@@ -80,7 +88,10 @@ class TestTiledV2Golden:
 
     def test_recompress_byte_identical(self):
         field = np.load(GOLDEN / "field_f32.npy")
-        blob = compress_tiled(field, tile_shape=(8, 12), rel_bound=1e-3)
+        with pytest.warns(DeprecationWarning):
+            legacy = compress_tiled(field, tile_shape=(8, 12), rel_bound=1e-3)
+        assert legacy == _blob("v2_tiled_rel_1e-3.szt")
+        blob = compress_tiled(field, tile_shape=(8, 12), mode="rel", bound=1e-3)
         assert blob == _blob("v2_tiled_rel_1e-3.szt")
 
     def test_legacy_v2_reports_rel_mode_from_bounds(self):

@@ -33,7 +33,7 @@ class TestDeepAlphabet:
     def test_m16_compressor_path(self, rng):
         """End-to-end with 65535 intervals (the paper's largest, Fig. 4b)."""
         data = np.cumsum(rng.standard_normal(4000)).reshape(50, 80)
-        blob = compress(data, rel_bound=1e-7, interval_bits=16)
+        blob = compress(data, mode="rel", bound=1e-7, interval_bits=16)
         out = decompress(blob)
         eb = 1e-7 * float(data.max() - data.min())
         assert np.abs(out - data).max() <= eb

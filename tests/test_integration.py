@@ -39,7 +39,7 @@ class TestSZ14BoundMatrix:
     @pytest.mark.parametrize("rel", [1e-3, 1e-5])
     def test_bound_holds_everywhere(self, variables, key, rel):
         data = variables[key]
-        blob = compress(data, rel_bound=rel)
+        blob = compress(data, mode="rel", bound=rel)
         out = decompress(blob)
         assert max_rel_error(data, out) <= rel
         assert out.dtype == data.dtype and out.shape == data.shape
@@ -49,7 +49,7 @@ class TestSZ14BoundMatrix:
         """SZ-1.4's selling point vs ZFP: the bound holds even on CDNUMC-like
         ranges."""
         data = variables[key]
-        blob = compress(data, rel_bound=1e-4)
+        blob = compress(data, mode="rel", bound=1e-4)
         assert max_rel_error(data, decompress(blob)) <= 1e-4
 
 
@@ -96,13 +96,13 @@ class TestCrossCompressorRelations:
         """The paper's core claim, across every 2-D variable."""
         for key in [("ATM", "FREQSH"), ("ATM", "TS"), ("APS", "frame0")]:
             data = variables[key]
-            sz14 = len(compress(data, rel_bound=1e-4))
+            sz14 = len(compress(data, mode="rel", bound=1e-4))
             sz11 = len(SZ11(rel_bound=1e-4).compress(data))
             assert sz14 < sz11, key
 
     def test_correlation_five_nines_at_1e4(self, variables):
         data = variables[("ATM", "FREQSH")]
-        out = decompress(compress(data, rel_bound=1e-4))
+        out = decompress(compress(data, mode="rel", bound=1e-4))
         assert pearson(data, out) >= 0.99999
 
     def test_seed_changes_data_not_format(self):
@@ -110,9 +110,9 @@ class TestCrossCompressorRelations:
         b = load("ATM", scale="tiny", seed=2)["FREQSH"]
         assert not np.array_equal(a, b)
         for d in (a, b):
-            out = decompress(compress(d, rel_bound=1e-3))
+            out = decompress(compress(d, mode="rel", bound=1e-3))
             assert max_rel_error(d, out) <= 1e-3
 
     def test_deterministic_compression(self, variables):
         data = variables[("Hurricane", "U")]
-        assert compress(data, rel_bound=1e-3) == compress(data, rel_bound=1e-3)
+        assert compress(data, mode="rel", bound=1e-3) == compress(data, mode="rel", bound=1e-3)

@@ -48,7 +48,7 @@ class TestPlanCache:
             _get_plan((5, 5 + i), 1)
         assert len(_PLAN_CACHE) <= 34
         # still correct after eviction
-        out = decompress(compress(np.ones((10, 10)) * 3, abs_bound=0.1))
+        out = decompress(compress(np.ones((10, 10)) * 3, mode="abs", bound=0.1))
         np.testing.assert_allclose(out, 3.0)
 
 
@@ -56,7 +56,7 @@ class TestAdaptiveCap:
     def test_m_capped_at_16(self, rng):
         noise = rng.standard_normal((48, 48)).astype(np.float32)
         _, stats = compress_with_stats(
-            noise, rel_bound=1e-9, interval_bits=14, adaptive=True, theta=0.999
+            noise, mode="rel", bound=1e-9, interval_bits=14, adaptive=True, theta=0.999
         )
         assert stats.interval_bits <= 16
         assert stats.adaptive_attempts >= 2
@@ -64,7 +64,7 @@ class TestAdaptiveCap:
     def test_adaptive_never_loosens_bound(self, rng):
         noise = rng.standard_normal((40, 40)).astype(np.float64)
         eb = 1e-8
-        blob = compress(noise, abs_bound=eb, interval_bits=2, adaptive=True)
+        blob = compress(noise, mode="abs", bound=eb, interval_bits=2, adaptive=True)
         out = decompress(blob)
         assert np.abs(out - noise).max() <= eb
 
@@ -73,19 +73,19 @@ class TestDtypePreservation:
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
     def test_exact_dtype_and_contiguity(self, dtype, rng):
         data = rng.standard_normal((17, 19)).astype(dtype)
-        out = decompress(compress(data, rel_bound=1e-3))
+        out = decompress(compress(data, mode="rel", bound=1e-3))
         assert out.dtype == dtype
         assert out.flags["C_CONTIGUOUS"]
 
     def test_fortran_order_input(self, rng):
         data = np.asfortranarray(rng.standard_normal((20, 30)))
-        out = decompress(compress(data, abs_bound=0.01))
+        out = decompress(compress(data, mode="abs", bound=0.01))
         assert np.abs(out - data).max() <= 0.01
 
     def test_non_contiguous_view_input(self, rng):
         base = rng.standard_normal((40, 60))
         view = base[::2, ::3]
-        out = decompress(compress(view, abs_bound=0.01))
+        out = decompress(compress(view, mode="abs", bound=0.01))
         assert out.shape == view.shape
         assert np.abs(out - view).max() <= 0.01
 
@@ -95,7 +95,7 @@ class TestErrorDistribution:
         """Quantization errors should be roughly symmetric (no drift) —
         a consequence of round-to-nearest interval placement."""
         eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
-        out = decompress(compress(smooth2d, abs_bound=eb))
+        out = decompress(compress(smooth2d, mode="abs", bound=eb))
         err = (out.astype(np.float64) - smooth2d.astype(np.float64)).ravel()
         assert np.abs(err).max() <= eb
         assert abs(err.mean()) < 0.2 * eb

@@ -62,13 +62,13 @@ class TestPoolMap:
 class TestPool:
     def test_parallel_equals_serial(self, smooth2d):
         chunks = chunk_array(smooth2d, 4)
-        serial = [compress(c, rel_bound=1e-3) for c in chunks]
-        parallel = parallel_compress(chunks, n_workers=2, rel_bound=1e-3)
+        serial = [compress(c, mode="rel", bound=1e-3) for c in chunks]
+        parallel = parallel_compress(chunks, n_workers=2, mode="rel", bound=1e-3)
         assert [bytes(a) for a in serial] == [bytes(b) for b in parallel]
 
     def test_parallel_roundtrip(self, smooth2d):
         chunks = chunk_array(smooth2d, 3)
-        blobs = parallel_compress(chunks, n_workers=2, rel_bound=1e-3)
+        blobs = parallel_compress(chunks, n_workers=2, mode="rel", bound=1e-3)
         outs = parallel_decompress(blobs, n_workers=2)
         recon = np.concatenate(outs)
         eb = 1e-3 * float(smooth2d.max() - smooth2d.min())
@@ -77,7 +77,7 @@ class TestPool:
 
     def test_single_worker_path(self, smooth2d):
         chunks = chunk_array(smooth2d, 2)
-        blobs = parallel_compress(chunks, n_workers=1, rel_bound=1e-3)
+        blobs = parallel_compress(chunks, n_workers=1, mode="rel", bound=1e-3)
         outs = parallel_decompress(blobs, n_workers=1)
         assert len(outs) == 2
 

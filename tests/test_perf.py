@@ -118,7 +118,7 @@ class TestPipelineInstrumentation:
 
         field = synth_field(SCALES["tiny"][2], "float32", seed=1)
         with StageTimer() as ct:
-            blob = compress(field, rel_bound=1e-3)
+            blob = compress(field, mode="rel", bound=1e-3)
         with StageTimer() as dt:
             decompress(blob)
         for key in ("quantize", "entropy", "entropy/huffman_encode",

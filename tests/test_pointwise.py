@@ -39,7 +39,7 @@ class TestPointwiseBound:
             rng.uniform(1e-6, 1e-5, 500), rng.uniform(1e5, 1e6, 500)
         ])
         rel = 1e-3
-        range_blob = compress(data, rel_bound=rel)
+        range_blob = compress(data, mode="rel", bound=rel)
         range_out = decompress(range_blob)
         pw_blob = compress_pointwise(data, rel)
         pw_out = decompress_pointwise(pw_blob)

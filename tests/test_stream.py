@@ -63,7 +63,7 @@ class TestVersioning:
             read_container(b"XXXX" + b"\x00" * 64)
 
     def test_wrong_version(self, smooth2d):
-        blob = bytearray(compress(smooth2d, rel_bound=1e-3))
+        blob = bytearray(compress(smooth2d, mode="rel", bound=1e-3))
         blob[4] = 99  # version byte
         with pytest.raises(ValueError, match="version"):
             read_container(bytes(blob))
@@ -83,7 +83,7 @@ class TestFuzzing:
     def test_random_truncation(self, seed):
         rng = np.random.default_rng(seed)
         data = rng.standard_normal((12, 12)).astype(np.float32)
-        blob = compress(data, rel_bound=1e-3)
+        blob = compress(data, mode="rel", bound=1e-3)
         cut = int(rng.integers(1, len(blob)))
         try:
             out = decompress(blob[:cut])
@@ -96,7 +96,7 @@ class TestFuzzing:
     def test_random_byte_flip(self, seed):
         rng = np.random.default_rng(seed)
         data = rng.standard_normal((10, 14)).astype(np.float32)
-        blob = bytearray(compress(data, rel_bound=1e-3))
+        blob = bytearray(compress(data, mode="rel", bound=1e-3))
         pos = int(rng.integers(0, len(blob)))
         blob[pos] ^= int(rng.integers(1, 256))
         try:
@@ -107,8 +107,8 @@ class TestFuzzing:
 
     def test_swapped_sections_detected(self, rng):
         data = rng.standard_normal(300).astype(np.float32)
-        a = compress(data, rel_bound=1e-3)
-        b = compress(data * 2, rel_bound=1e-2)
+        a = compress(data, mode="rel", bound=1e-3)
+        b = compress(data * 2, mode="rel", bound=1e-2)
         # splice the tail of b onto the head of a
         chimera = a[: len(a) // 2] + b[len(b) // 2 :]
         try:
