@@ -30,21 +30,34 @@ local :func:`get_codec` works identically without the dependency.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from repro.api.config import SZConfig
 
+if TYPE_CHECKING:
+    from repro.chunked.io import ByteAccountant
+    from repro.chunked.streams import TiledReader, TiledWriter
+    from repro.core.compressor import CompressionStats
+
+    # The optional numcodecs base class is opaque to the type checker;
+    # the adapter only relies on the methods it defines itself.
+    _NumcodecsBase = object
+    _numcodecs_register: Callable[..., Any] | None = None
+else:
+    try:  # pragma: no cover - exercised only when numcodecs is installed
+        from numcodecs.abc import Codec as _NumcodecsBase
+        from numcodecs.registry import register_codec as _numcodecs_register
+    except ImportError:  # the adapter is self-contained; numcodecs is optional
+        _NumcodecsBase = object
+        _numcodecs_register = None
+
 __all__ = ["Codec", "get_codec", "register_codec"]
 
-try:  # pragma: no cover - exercised only when numcodecs is installed
-    from numcodecs.abc import Codec as _NumcodecsBase
-    from numcodecs.registry import register_codec as _numcodecs_register
-except ImportError:  # the adapter is self-contained; numcodecs is optional
-    _NumcodecsBase = object
-    _numcodecs_register = None
 
-
-def _as_float_array(buf) -> np.ndarray:
+def _as_float_array(buf: Any) -> np.ndarray:
     """View ``buf`` as an ndarray without copying.
 
     ``ndarray`` passes through; anything else goes through
@@ -71,7 +84,9 @@ class Codec(_NumcodecsBase):
 
     codec_id = "sz14-repro"
 
-    def __init__(self, config: SZConfig | dict | None = None, **kwargs) -> None:
+    def __init__(
+        self, config: SZConfig | dict[str, Any] | None = None, **kwargs: Any
+    ) -> None:
         if config is not None and kwargs:
             raise ValueError("pass either a config object or keywords, not both")
         if config is None:
@@ -86,20 +101,20 @@ class Codec(_NumcodecsBase):
 
     # -- numcodecs contract ------------------------------------------------
 
-    def encode(self, buf) -> bytes:
+    def encode(self, buf: Any) -> bytes:
         """Compress a float32/float64 buffer into container bytes."""
         from repro.core.compressor import compress_array
 
         blob, _ = compress_array(_as_float_array(buf), self.config)
         return blob
 
-    def encode_with_stats(self, buf):
+    def encode_with_stats(self, buf: Any) -> tuple[bytes, CompressionStats]:
         """:meth:`encode` plus the :class:`CompressionStats` diagnostics."""
         from repro.core.compressor import compress_array
 
         return compress_array(_as_float_array(buf), self.config)
 
-    def decode(self, buf, out=None) -> np.ndarray:
+    def decode(self, buf: Any, out: Any = None) -> np.ndarray:
         """Decompress container bytes (any buffer-protocol object).
 
         With ``out`` (a writable ndarray or buffer of matching size) the
@@ -111,16 +126,16 @@ class Codec(_NumcodecsBase):
 
         return decompress(buf, out=out)
 
-    def get_config(self) -> dict:
+    def get_config(self) -> dict[str, Any]:
         """numcodecs-style config dict: ``{"id": codec_id, **knobs}``."""
         return {"id": self.codec_id, **self.config.to_dict()}
 
     @classmethod
-    def from_config(cls, config: dict) -> "Codec":
+    def from_config(cls, config: dict[str, Any]) -> "Codec":
         """Rebuild a codec from :meth:`get_config` output."""
         return cls(SZConfig.from_dict(config))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Codec) and other.config == self.config
 
     def __hash__(self) -> int:
@@ -134,7 +149,12 @@ class Codec(_NumcodecsBase):
 
     # -- tiled / streaming access -----------------------------------------
 
-    def encode_tiled(self, data, tile_shape=None, out=None) -> bytes | None:
+    def encode_tiled(
+        self,
+        data: np.ndarray,
+        tile_shape: int | tuple[int, ...] | None = None,
+        out: Any = None,
+    ) -> bytes | None:
         """Compress into a tiled (block-indexed) container.
 
         ``tile_shape`` falls back to ``config.tile_shape``; with ``out``
@@ -150,20 +170,26 @@ class Codec(_NumcodecsBase):
             config=self.config,
         )
 
-    def decode_tiled(self, src) -> np.ndarray:
+    def decode_tiled(self, src: Any) -> np.ndarray:
         """Decompress a tiled container (bytes, path or handle)."""
         from repro.chunked.tiled import decompress_tiled
 
         return decompress_tiled(src)
 
-    def decode_region(self, src, region, accountant=None) -> np.ndarray:
+    def decode_region(
+        self, src: Any, region: Any, accountant: ByteAccountant | None = None
+    ) -> np.ndarray:
         """Decode only the tiles of ``src`` intersecting ``region``."""
         from repro.chunked.tiled import decompress_region
 
         return decompress_region(src, region, accountant=accountant)
 
     def open_writer(
-        self, dest, shape, dtype=np.float32, tile_shape=None
+        self,
+        dest: Any,
+        shape: tuple[int, ...],
+        dtype: Any = np.float32,
+        tile_shape: int | tuple[int, ...] | None = None,
     ) -> "TiledWriter":
         """Streaming tile writer bound to this codec's configuration."""
         from repro.chunked.streams import TiledWriter
@@ -176,13 +202,20 @@ class Codec(_NumcodecsBase):
             config=self.config,
         )
 
-    def open_reader(self, src, accountant=None) -> "TiledReader":
+    def open_reader(
+        self, src: Any, accountant: ByteAccountant | None = None
+    ) -> "TiledReader":
         """Random-access reader over a tiled container."""
         from repro.chunked.streams import TiledReader
 
         return TiledReader(src, accountant=accountant)
 
-    def encode_file(self, npy_path, out, tile_shape=None) -> dict:
+    def encode_file(
+        self,
+        npy_path: Any,
+        out: Any,
+        tile_shape: int | tuple[int, ...] | None = None,
+    ) -> dict[str, Any]:
         """Compress an ``.npy`` file slab by slab (larger-than-RAM safe)."""
         from repro.chunked.tiled import compress_file_tiled
 
@@ -195,10 +228,10 @@ class Codec(_NumcodecsBase):
         )
 
 
-_REGISTRY: dict[str, type] = {}
+_REGISTRY: dict[str, type[Codec]] = {}
 
 
-def register_codec(cls: type, codec_id: str | None = None) -> None:
+def register_codec(cls: type[Codec], codec_id: str | None = None) -> None:
     """Register a codec class for :func:`get_codec` lookup.
 
     When numcodecs is installed the class is registered there too, so
@@ -209,7 +242,7 @@ def register_codec(cls: type, codec_id: str | None = None) -> None:
         _numcodecs_register(cls, codec_id)
 
 
-def get_codec(config: dict) -> "Codec":
+def get_codec(config: dict[str, Any]) -> "Codec":
     """numcodecs-style factory: ``get_codec({"id": "sz14-repro", ...})``."""
     if not isinstance(config, dict):
         raise ValueError(f"codec config must be a dict, got {config!r}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.adaptive import DEFAULT_THETA
 from repro.core.bounds import ErrorBound
@@ -36,7 +37,7 @@ _ENTROPY_CODERS = ("huffman", "arithmetic")
 _MAX_INTERVAL_BITS = 16  # adaptive retry ceiling; mirrors the compressor
 
 
-def _coerce_error_bound(value) -> ErrorBound:
+def _coerce_error_bound(value: Any) -> ErrorBound:
     """Accept an ErrorBound, a ``(mode, bound)`` pair, or a spec dict."""
     if isinstance(value, ErrorBound):
         return value
@@ -50,7 +51,7 @@ def _coerce_error_bound(value) -> ErrorBound:
     )
 
 
-def _coerce_tile_shape(value) -> int | tuple[int, ...] | None:
+def _coerce_tile_shape(value: Any) -> int | tuple[int, ...] | None:
     """Normalize a tile-shape request; an int stays an int.
 
     A bare int means cubic tiles of that extent along *every* axis of
@@ -161,7 +162,7 @@ class SZConfig:
         bound: float | None = None,
         abs_bound: float | None = None,
         rel_bound: float | None = None,
-        **knobs,
+        **knobs: Any,
     ) -> "SZConfig":
         """Normalize any public keyword spelling into an ``SZConfig``.
 
@@ -175,7 +176,7 @@ class SZConfig:
         spec = ErrorBound.from_args(mode, bound, abs_bound, rel_bound)
         return cls(error_bound=spec, **knobs)
 
-    def replace(self, **changes) -> "SZConfig":
+    def replace(self, **changes: Any) -> "SZConfig":
         """A copy with ``changes`` applied — the sweep primitive.
 
         Besides the dataclass fields, the error bound can be swept
@@ -209,14 +210,14 @@ class SZConfig:
 
     # -- serialization -----------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-safe dict; inverse of :meth:`from_dict`.
 
         The error bound is flattened into the top level (``mode`` +
         ``bound``, plus ``abs_bound`` for the combined legacy pair) so
         the result reads like the keyword surface it replaces.
         """
-        out = dict(self.error_bound.to_dict())
+        out: dict[str, Any] = dict(self.error_bound.to_dict())
         out.update(
             layers=self.layers,
             interval_bits=self.interval_bits,
@@ -235,7 +236,7 @@ class SZConfig:
         return out
 
     @classmethod
-    def from_dict(cls, spec: dict) -> "SZConfig":
+    def from_dict(cls, spec: dict[str, Any]) -> "SZConfig":
         """Rebuild from :meth:`to_dict` output (full re-validation).
 
         Unknown keys raise — a typo'd knob must not silently vanish.

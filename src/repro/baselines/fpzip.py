@@ -31,12 +31,11 @@ def _float_to_ordered(bits: np.ndarray, width: int) -> np.ndarray:
     """Monotone IEEE-bits → unsigned mapping (total order on floats)."""
     bits = bits.astype(np.uint64)
     sign = bits >> np.uint64(width - 1)
-    flipped = np.where(
+    return np.where(
         sign == 1,
         ~bits & np.uint64((1 << width) - 1),
         bits | np.uint64(1 << (width - 1)),
     )
-    return flipped
 
 
 def _ordered_to_float_bits(ordered: np.ndarray, width: int) -> np.ndarray:
@@ -151,8 +150,7 @@ class FPZIPLike:
         # values; but lossless decoding reproduces the originals, so we can
         # decode in wavefront order... in practice the Lorenzo stencil makes
         # raster order safe: predictions only look backwards in every dim.
-        out_bits = _lorenzo_unpredict(resid, shape, width, dtype, uint)
-        return out_bits
+        return _lorenzo_unpredict(resid, shape, width, dtype, uint)
 
     # container introspection helpers for tests
     @staticmethod

@@ -51,6 +51,7 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -102,7 +103,7 @@ def _f64_raw(x: float | None) -> bytes:
     return np.float64(math.nan if x is None else x).tobytes()
 
 
-def _raw_f64(b: bytes) -> float | None:
+def _raw_f64(b: bytes | memoryview) -> float | None:
     x = float(np.frombuffer(b, dtype=np.float64)[0])
     return None if math.isnan(x) else x
 
@@ -135,7 +136,7 @@ class TiledHeader:
 
     @property
     def n_values(self) -> int:
-        return int(np.prod(self.shape))
+        return int(np.prod(self.shape, dtype=np.int64))
 
 
 @dataclass(frozen=True)
@@ -169,7 +170,7 @@ class TileEntry:
         return self.mode_count / max(1, self.n_values)
 
 
-def is_tiled(blob: bytes) -> bool:
+def is_tiled(blob: bytes | bytearray | memoryview) -> bool:
     """True when ``blob`` starts with the v2 tiled magic."""
     return bytes(blob[:4]) == MAGIC
 
@@ -195,7 +196,7 @@ def write_header(header: TiledHeader) -> bytes:
     return bytes(out)
 
 
-def read_header(buf: bytes) -> TiledHeader:
+def read_header(buf: bytes | memoryview) -> TiledHeader:
     """Parse the leading header from at least its first bytes."""
     if len(buf) < 8:
         raise ValueError("truncated tiled container: short header")
@@ -266,7 +267,7 @@ def build_index(entries: list[TileEntry], version: int = VERSION) -> bytes:
 
 
 def parse_index(
-    buf: bytes, n_tiles: int, version: int = VERSION
+    buf: bytes | memoryview, n_tiles: int, version: int = VERSION
 ) -> list[TileEntry]:
     nbytes = entry_bytes(version)
     if len(buf) != n_tiles * nbytes:
@@ -302,7 +303,7 @@ def build_tail(index_offset: int, index_length: int, index_crc: int) -> bytes:
     )
 
 
-def parse_tail(tail: bytes) -> tuple[int, int, int]:
+def parse_tail(tail: bytes | memoryview) -> tuple[int, int, int]:
     """Return ``(index_offset, index_length, index_crc32)`` from the tail."""
     if len(tail) != TAIL_BYTES:
         raise ValueError("truncated tiled container: short tail")
@@ -315,7 +316,7 @@ def parse_tail(tail: bytes) -> tuple[int, int, int]:
     )
 
 
-def verify_index(buf: bytes, crc: int) -> None:
+def verify_index(buf: bytes | memoryview, crc: int) -> None:
     if zlib.crc32(buf) & 0xFFFFFFFF != crc:
         raise ValueError("corrupt tiled container: index CRC mismatch")
 
@@ -327,7 +328,9 @@ class TileGrid:
     the data evenly.
     """
 
-    def __init__(self, shape: tuple[int, ...], tile_shape: tuple[int, ...]):
+    def __init__(
+        self, shape: tuple[int, ...], tile_shape: tuple[int, ...]
+    ) -> None:
         shape = tuple(int(s) for s in shape)
         tile_shape = tuple(int(t) for t in tile_shape)
         if len(shape) != len(tile_shape):
@@ -341,7 +344,7 @@ class TileGrid:
         self.grid = tuple(
             -(-s // t) for s, t in zip(self.shape, self.tile_shape)
         )
-        self.n_tiles = int(np.prod(self.grid))
+        self.n_tiles = int(np.prod(self.grid, dtype=np.int64))
 
     def coord(self, index: int) -> tuple[int, ...]:
         """Grid coordinate of flat tile ``index`` (C order)."""
@@ -361,7 +364,7 @@ class TileGrid:
         return tuple(sl.stop - sl.start for sl in self.tile_slices(index))
 
     def normalize_region(
-        self, region
+        self, region: Any
     ) -> tuple[tuple[slice, ...], tuple[int, ...]]:
         """Canonicalize a region spec into per-axis ``slice`` objects.
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import io
 import os
 from pathlib import Path
+from typing import IO, Any
 
 __all__ = ["ByteAccountant", "ByteSource", "open_source"]
 
@@ -43,12 +44,14 @@ class ByteSource:
 
     def __init__(
         self,
-        raw,
+        raw: bytes | bytearray | memoryview | IO[bytes],
         accountant: ByteAccountant | None = None,
         close: bool = False,
     ) -> None:
         self._close = close
         self.accountant = accountant
+        self._buf: bytes | memoryview | None
+        self._fh: IO[bytes] | None
         if isinstance(raw, (bytes, bytearray, memoryview)):
             # Keep the caller's buffer as a view: slicing a memoryview
             # is zero-copy, so in-memory containers are never duplicated.
@@ -65,8 +68,12 @@ class ByteSource:
     def size(self) -> int:
         return self._size
 
-    def read_at(self, offset: int, length: int) -> bytes:
-        """Read exactly ``length`` bytes at ``offset`` (raises when short)."""
+    def read_at(self, offset: int, length: int) -> bytes | memoryview:
+        """Read exactly ``length`` bytes at ``offset`` (raises when short).
+
+        In-memory sources hand back a zero-copy slice (a memoryview for
+        non-``bytes`` buffers); file sources return fresh ``bytes``.
+        """
         if offset < 0 or length < 0 or offset + length > self._size:
             raise ValueError(
                 f"truncated tiled container: need bytes "
@@ -76,6 +83,7 @@ class ByteSource:
             self.accountant.record(offset, length)
         if self._buf is not None:
             return self._buf[offset : offset + length]
+        assert self._fh is not None  # __init__ sets exactly one of buf/fh
         self._fh.seek(offset)
         data = self._fh.read(length)
         if len(data) != length:
@@ -89,12 +97,12 @@ class ByteSource:
     def __enter__(self) -> "ByteSource":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
 def open_source(
-    src, accountant: ByteAccountant | None = None
+    src: Any, accountant: ByteAccountant | None = None
 ) -> ByteSource:
     """Wrap ``bytes``, a path, or a binary file handle as a ByteSource."""
     if isinstance(src, (bytes, bytearray, memoryview)):

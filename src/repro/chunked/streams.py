@@ -63,7 +63,11 @@ def _tile_job(args) -> tuple[bytes, int, int, int]:
     blob, stats = compress_array(np.ascontiguousarray(tile), config)
     hist = stats.code_histogram
     mode_count = int(hist.max()) if hist is not None and hist.size else 0
-    nonzero = int((hist > 0).sum()) if hist is not None and hist.size else 0
+    nonzero = (
+        int((hist > 0).sum(dtype=np.int64))
+        if hist is not None and hist.size
+        else 0
+    )
     return blob, stats.n_unpredictable, mode_count, nonzero
 
 
@@ -450,7 +454,11 @@ class TiledReader:
         one tile-row of decompressed data is alive at a time.
         """
         t0 = self.grid.tile_shape[0]
-        inner = int(np.prod(self.grid.grid[1:])) if len(self.grid.grid) > 1 else 1
+        inner = (
+            int(np.prod(self.grid.grid[1:], dtype=np.int64))
+            if len(self.grid.grid) > 1
+            else 1
+        )
         for row in range(self.grid.grid[0]):
             start = row * t0
             stop = min(start + t0, self.shape[0])

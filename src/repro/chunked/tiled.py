@@ -148,7 +148,7 @@ def compress_file_tiled(
         for row in range(writer.n_slabs):
             start, stop = writer.slab_extent(row)
             writer.write_slab(np.asarray(data[start:stop]))
-    original_bytes = int(np.prod(data.shape)) * data.dtype.itemsize
+    original_bytes = int(np.prod(data.shape, dtype=np.int64)) * data.dtype.itemsize
     return {
         "shape": tuple(data.shape),
         "tile_shape": tile_shape,

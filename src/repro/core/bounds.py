@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -149,15 +150,20 @@ class ErrorBound:
     @property
     def param(self) -> float:
         """The single mode parameter (for container headers / stats)."""
+        # from_args guarantees the field matching `mode` is always set.
         if self.mode == "pw_rel":
+            assert self.pw_bound is not None
             return float(self.pw_bound)
         if self.mode == "psnr":
+            assert self.psnr_target is not None
             return float(self.psnr_target)
         if self.mode == "rel":
+            assert self.rel_bound is not None
             return float(self.rel_bound)
+        assert self.abs_bound is not None
         return float(self.abs_bound)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-safe spelling of this bound; inverse of :meth:`from_dict`.
 
         The combined legacy pair (``rel`` with an ``abs`` cap, where the
@@ -165,6 +171,7 @@ class ErrorBound:
         so it serializes with an extra ``abs_bound`` key.
         """
         if self.mode == "rel" and self.abs_bound is not None:
+            assert self.rel_bound is not None  # from_args invariant
             return {
                 "mode": "rel",
                 "bound": float(self.rel_bound),
@@ -173,7 +180,7 @@ class ErrorBound:
         return {"mode": self.mode, "bound": self.param}
 
     @classmethod
-    def from_dict(cls, spec: dict) -> "ErrorBound":
+    def from_dict(cls, spec: dict[str, Any]) -> "ErrorBound":
         """Rebuild an :class:`ErrorBound` from :meth:`to_dict` output.
 
         Every value is re-validated through :meth:`from_args`, so a
@@ -199,7 +206,7 @@ class ErrorBound:
         """
         if self.mode not in ("abs", "rel"):
             raise ValueError(f"mode {self.mode!r} has no direct absolute bound")
-        candidates = []
+        candidates: list[float] = []
         if self.abs_bound is not None:
             candidates.append(float(self.abs_bound))
         if self.rel_bound is not None:
@@ -295,7 +302,7 @@ def pw_apply_repairs(
     viol = normal & ~(
         np.abs(recon.astype(np.float64) - x64) <= float(pw_bound) * np.abs(x64)
     )
-    n = int(viol.sum())
+    n = int(viol.sum(dtype=np.int64))
     if n:
         flags[viol] = PW_FLAG_RAW
     return n
@@ -323,13 +330,13 @@ def pw_encode_side(
     flags_flat = flags.ravel().astype(np.uint64)
     signs_flat = signs.ravel().astype(np.uint64)
     n = flags_flat.size
-    sections = []
+    sections: list[np.ndarray] = []
     buf, _ = pack_varlen(flags_flat, np.full(n, 2, dtype=np.int64))
     sections.append(buf)
     buf, _ = pack_varlen(signs_flat, np.full(n, 1, dtype=np.int64))
     sections.append(buf)
     raw_mask = flags.ravel() == PW_FLAG_RAW
-    n_raw = int(raw_mask.sum())
+    n_raw = int(raw_mask.sum(dtype=np.int64))
     if n_raw:
         uint = _UINT[np.dtype(data.dtype)]
         bits = np.ascontiguousarray(data).ravel().view(uint)[raw_mask]
@@ -342,7 +349,7 @@ def pw_encode_side(
 
 
 def pw_decode_side(
-    payload: bytes, n: int, dtype: np.dtype
+    payload: bytes | memoryview, n: int, dtype: np.dtype
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Inverse of :func:`pw_encode_side`: ``(flags, signs, raw values)``."""
     dtype = np.dtype(dtype)
@@ -355,7 +362,7 @@ def pw_decode_side(
         buf, np.full(n, 1, dtype=np.int64), bit_offset=offset
     ).astype(bool)
     offset += n + (-n) % 8
-    n_raw = int((flags == PW_FLAG_RAW).sum())
+    n_raw = int((flags == PW_FLAG_RAW).sum(dtype=np.int64))
     uint = _UINT[dtype]
     if n_raw:
         raw_bits = unpack_varlen(
@@ -370,7 +377,7 @@ def pw_decode_side(
 
 
 def pw_postcondition(
-    recon_logs: np.ndarray, payload: bytes, dtype: np.dtype
+    recon_logs: np.ndarray, payload: bytes | memoryview, dtype: np.dtype
 ) -> np.ndarray:
     """Rebuild the original-domain array from decoded logs + side channel."""
     dtype = np.dtype(dtype)

@@ -31,6 +31,7 @@ import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -57,11 +58,15 @@ from repro.core.stream import (
 from repro.core.unpredictable import decode_unpredictable, encode_unpredictable
 from repro.core.wavefront import (
     WavefrontPlan,
+    WavefrontResult,
     wavefront_compress,
     wavefront_decompress,
 )
 from repro.encoding.huffman import HuffmanCodec
 from repro.perf import stage
+
+if TYPE_CHECKING:
+    from repro.api.config import SZConfig
 
 __all__ = [
     "CompressionStats",
@@ -80,9 +85,18 @@ LEGACY_BOUND_MSG = (
 
 
 def _reject_config_conflicts(
-    abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
-    block_size, entropy_coder, lossless_post, mode, bound,
-):
+    abs_bound: float | None,
+    rel_bound: float | None,
+    layers: int,
+    interval_bits: int,
+    adaptive: bool,
+    theta: float,
+    block_size: int,
+    entropy_coder: str,
+    lossless_post: bool,
+    mode: str | None,
+    bound: float | None,
+) -> None:
     """With ``config=`` given, every other keyword must stay unset.
 
     A knob passed alongside a config would be silently ignored — a
@@ -104,9 +118,18 @@ def _reject_config_conflicts(
 
 
 def _shim_config(
-    abs_bound, rel_bound, layers, interval_bits, adaptive, theta,
-    block_size, entropy_coder, lossless_post, mode, bound,
-):
+    abs_bound: float | None,
+    rel_bound: float | None,
+    layers: int,
+    interval_bits: int,
+    adaptive: bool,
+    theta: float,
+    block_size: int,
+    entropy_coder: str,
+    lossless_post: bool,
+    mode: str | None,
+    bound: float | None,
+) -> "SZConfig":
     """Normalize a legacy keyword call into an ``SZConfig``.
 
     Emits the deprecation warning for the legacy ``abs_bound``/
@@ -126,7 +149,7 @@ def _shim_config(
     )
 
 _MAX_INTERVAL_BITS = 16
-_PLAN_CACHE: OrderedDict[tuple, WavefrontPlan] = OrderedDict()
+_PLAN_CACHE: OrderedDict[tuple[tuple[int, ...], int], WavefrontPlan] = OrderedDict()
 _PLAN_CACHE_MAX = 32
 """LRU bound: a long-lived tiled job cycling through many (tile shape,
 layers) pairs must not grow the cache without limit; evicting the least
@@ -146,7 +169,7 @@ class CompressionStats:
     original_bytes: int
     compressed_bytes: int
     elapsed_seconds: float
-    code_histogram: np.ndarray = field(repr=False, default=None)
+    code_histogram: np.ndarray | None = field(repr=False, default=None)
     adaptive_attempts: int = 1
     itemsize: int = 4
     mode: str = "abs"
@@ -220,7 +243,7 @@ def _quantize_adaptive(
     interval_bits: int,
     adaptive: bool,
     theta: float,
-):
+) -> tuple[WavefrontResult, int, int]:
     """Wavefront quantization with the adaptive interval-count retry."""
     plan = _get_plan(data.shape, layers)
     attempts = 0
@@ -236,7 +259,7 @@ def _quantize_adaptive(
 
 
 def _emit_container(
-    result,
+    result: WavefrontResult,
     m: int,
     eb: float,
     header_dtype: np.dtype,
@@ -314,7 +337,7 @@ def _psnr_of(data: np.ndarray, recon: np.ndarray, value_range: float) -> float:
 
 
 def compress_array(
-    data: np.ndarray, config
+    data: np.ndarray, config: "SZConfig"
 ) -> tuple[bytes, CompressionStats]:
     """The compression engine: ``(data, SZConfig) -> (blob, stats)``.
 
@@ -349,7 +372,11 @@ def compress_array(
         # the legacy value (the abs bound if one was given, else 0.0) so
         # abs/rel output stays byte-identical across versions; pw_rel and
         # psnr requests keep their mode tag so info() reports them.
-        eb = float(spec.abs_bound) if spec.mode == "abs" else 0.0
+        eb = (
+            float(spec.abs_bound)
+            if spec.mode == "abs" and spec.abs_bound is not None
+            else 0.0
+        )
         header = Header(
             data.dtype, data.shape, interval_bits, layers, eb, 0.0, 0,
             flags=FLAG_CONSTANT, mode=spec.mode, mode_param=spec.param,
@@ -368,12 +395,14 @@ def compress_array(
 
     code_hist = None
     if spec.mode == "pw_rel":
+        assert spec.pw_bound is not None  # from_args invariant for pw_rel
         blob, result, m, attempts, repairs = _compress_pw_rel(
             data, spec.pw_bound, layers, interval_bits, adaptive, theta,
             block_size, entropy_coder, value_range,
         )
         eb, mode_attempts = pw_log_bound(spec.pw_bound, data.dtype), 1 + repairs
     elif spec.mode == "psnr":
+        assert spec.psnr_target is not None  # from_args invariant for psnr
         blob, result, m, attempts, eb, mode_attempts = _compress_psnr(
             data, spec.psnr_target, layers, interval_bits, adaptive, theta,
             block_size, entropy_coder, value_range,
@@ -430,7 +459,7 @@ def compress_with_stats(
     mode: str | None = None,
     bound: float | None = None,
     *,
-    config=None,
+    config: "SZConfig | None" = None,
 ) -> tuple[bytes, CompressionStats]:
     """Compress ``data`` and return ``(container bytes, diagnostics)``.
 
@@ -496,7 +525,7 @@ def _compress_pw_rel(
     block_size: int,
     entropy_coder: str,
     value_range: float,
-):
+) -> tuple[bytes, WavefrontResult, int, int, int]:
     """Pointwise-relative mode: log-precondition, quantize, verify-repair."""
     eb_log = pw_log_bound(pw_bound, data.dtype)
     logs, flags, signs = pw_precondition(data)
@@ -528,7 +557,7 @@ def _compress_psnr(
     block_size: int,
     entropy_coder: str,
     value_range: float,
-):
+) -> tuple[bytes, WavefrontResult, int, int, float, int]:
     """PSNR-targeted mode: model-derived bound, verified post-hoc.
 
     The first candidate comes from the uniform-quantization noise model;
@@ -581,7 +610,7 @@ def compress(
     mode: str | None = None,
     bound: float | None = None,
     *,
-    config=None,
+    config: "SZConfig | None" = None,
 ) -> bytes:
     """Compress ``data``; see :func:`compress_with_stats` for parameters.
 
@@ -603,7 +632,7 @@ def compress(
     return blob
 
 
-def _as_byte_view(buf):
+def _as_byte_view(buf: Any) -> bytes | memoryview:
     """View any buffer-protocol object as flat bytes without copying.
 
     ``bytes`` passes through untouched; everything else (``bytearray``,
@@ -620,7 +649,7 @@ def _as_byte_view(buf):
     return view
 
 
-def _fill_out(result: np.ndarray, out) -> np.ndarray:
+def _fill_out(result: np.ndarray, out: Any) -> np.ndarray:
     """Place ``result`` into the caller's ``out`` buffer; return the view.
 
     ``out`` may be a writable ndarray (any shape of the right size and
@@ -656,7 +685,7 @@ def _fill_out(result: np.ndarray, out) -> np.ndarray:
     return dst
 
 
-def decompress(blob, out=None) -> np.ndarray:
+def decompress(blob: Any, out: Any = None) -> np.ndarray:
     """Decompress an SZ-1.4 (repro) container back to the full array.
 
     Accepts plain containers, ``lossless_post``-wrapped containers, and
@@ -673,7 +702,7 @@ def decompress(blob, out=None) -> np.ndarray:
     if header.is_constant:
         result = np.full(header.shape, constant, dtype=header.dtype)
         return result if out is None else _fill_out(result, out)
-    expected = int(np.prod(header.shape))
+    expected = int(np.prod(header.shape, dtype=np.int64))
     # pw_rel bodies encode the float64 log field; every other mode's body
     # lives directly in the advertised dtype.
     inner_dtype = (
@@ -695,6 +724,9 @@ def decompress(blob, out=None) -> np.ndarray:
                     unzigzag((mapped - 1).astype(np.uint64)) + radius,
                 )
         else:
+            # read_container returns a codec+stream pair for every
+            # non-constant, non-arithmetic container.
+            assert codec is not None and stream is not None
             with stage("entropy", nbytes=int(stream.payload.nbytes)):
                 codes = codec.decode(stream)
         if codes.size != expected:
@@ -721,7 +753,7 @@ def decompress(blob, out=None) -> np.ndarray:
         raise ValueError(f"corrupt SZ-1.4 container: {exc}") from exc
 
 
-def container_info(blob) -> dict:
+def container_info(blob: Any) -> dict[str, Any]:
     """Inspect a container without decompressing it.
 
     Returns a dict with shape, dtype, bounds, layer/interval settings,
@@ -779,7 +811,7 @@ class SZ14Compressor:
         mode: str | None = None,
         bound: float | None = None,
         *,
-        config=None,
+        config: "SZConfig | None" = None,
     ) -> None:
         if abs_bound is not None or rel_bound is not None:
             warnings.warn(LEGACY_BOUND_MSG, DeprecationWarning, stacklevel=2)
@@ -807,7 +839,7 @@ class SZ14Compressor:
         self.mode = mode
         self.bound = bound
 
-    def _resolved_config(self, **overrides):
+    def _resolved_config(self, **overrides: Any) -> "SZConfig":
         overrides = {k: v for k, v in overrides.items() if v is not None}
         if overrides.get("abs_bound") is not None or overrides.get(
             "rel_bound"
@@ -845,16 +877,16 @@ class SZ14Compressor:
 
         return SZConfig.from_kwargs(**kwargs)
 
-    def compress(self, data: np.ndarray, **overrides) -> bytes:
+    def compress(self, data: np.ndarray, **overrides: Any) -> bytes:
         blob, _ = compress_array(data, self._resolved_config(**overrides))
         return blob
 
     def compress_with_stats(
-        self, data: np.ndarray, **overrides
+        self, data: np.ndarray, **overrides: Any
     ) -> tuple[bytes, CompressionStats]:
         return compress_array(data, self._resolved_config(**overrides))
 
-    def decompress(self, blob, out=None) -> np.ndarray:
+    def decompress(self, blob: Any, out: Any = None) -> np.ndarray:
         return decompress(blob, out=out)
 
     @property

@@ -33,7 +33,7 @@ def is_wrapped(blob) -> bool:
     return blob[:4] == _MAGIC
 
 
-def unwrap(blob):
+def unwrap(blob: bytes | memoryview) -> bytes | memoryview:
     """Undo :func:`wrap`; a plain container passes through unchanged.
 
     ``blob`` may be ``bytes`` or a flat ``uint8`` memoryview — an

@@ -37,7 +37,7 @@ def _stencil_cached(n: int, d: int) -> tuple[np.ndarray, np.ndarray]:
     offsets = offsets[offsets.any(axis=1)]  # drop the origin (0,...,0)
     binom = np.array([comb(n, k) for k in range(n + 1)], dtype=np.float64)
     signs = np.where(offsets % 2 == 0, 1.0, -1.0)
-    coeffs = -np.prod(signs * binom[offsets], axis=1)
+    coeffs = -np.prod(signs * binom[offsets], axis=1, dtype=np.float64)
     offsets.setflags(write=False)
     coeffs.setflags(write=False)
     return offsets, coeffs

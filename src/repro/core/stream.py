@@ -72,7 +72,8 @@ class Header:
     flags: int = 0
     mode: str = "abs"
     mode_param: float = 0.0
-    side_payload: bytes = b""
+    # A memoryview when parsed from a memoryview container (zero-copy).
+    side_payload: bytes | memoryview = b""
 
     @property
     def is_constant(self) -> bool:
@@ -158,9 +159,14 @@ def _write_container(
 
 
 def read_container(
-    blob: bytes,
+    blob: bytes | memoryview,
 ) -> tuple[
-    Header, HuffmanCodec | None, EncodedStream | None, bytes, float, bytes
+    Header,
+    HuffmanCodec | None,
+    EncodedStream | None,
+    bytes | memoryview,
+    float,
+    bytes | memoryview,
 ]:
     """Parse a container.
 
@@ -173,9 +179,14 @@ def read_container(
 
 
 def _read_container(
-    blob: bytes,
+    blob: bytes | memoryview,
 ) -> tuple[
-    Header, HuffmanCodec | None, EncodedStream | None, bytes, float, bytes
+    Header,
+    HuffmanCodec | None,
+    EncodedStream | None,
+    bytes | memoryview,
+    float,
+    bytes | memoryview,
 ]:
     r = BitReader(blob)
     try:
@@ -233,7 +244,7 @@ def _read_container(
         if pos + stream_len > len(blob):
             raise EOFError("truncated container: symbol stream")
         stream = None
-        arith = b""
+        arith: bytes | memoryview = b""
         # Slices of a memoryview input stay zero-copy views; only a
         # bytes input pays the (unavoidable) bytes-slice copy.
         if header.is_arithmetic:

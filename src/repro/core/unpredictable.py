@@ -107,8 +107,7 @@ def truncate_to_bound(values: np.ndarray, eb: float) -> np.ndarray:
     )
     out = rebuilt.astype(lo.uint.type).view(values.dtype)
     out = np.where(is_zero, values.dtype.type(0), out)
-    out = np.where(is_raw, values, out)
-    return out
+    return np.where(is_raw, values, out)
 
 
 def encode_unpredictable(values: np.ndarray, eb: float) -> tuple[bytes, np.ndarray]:
@@ -141,7 +140,11 @@ def encode_unpredictable(values: np.ndarray, eb: float) -> tuple[bytes, np.ndarr
         head = (sign[is_normal] << np.uint64(lo.exp_bits)) | exp[is_normal]
         head_buf, _ = pack_varlen(
             head,
-            np.full(int(is_normal.sum()), 1 + lo.exp_bits, dtype=np.int64),
+            np.full(
+                int(is_normal.sum(dtype=np.int64)),
+                1 + lo.exp_bits,
+                dtype=np.int64,
+            ),
             masked=True,
         )
         sections.append(head_buf)
@@ -151,7 +154,9 @@ def encode_unpredictable(values: np.ndarray, eb: float) -> tuple[bytes, np.ndarr
     if is_raw.any():
         raw_buf, _ = pack_varlen(
             bits[is_raw],
-            np.full(int(is_raw.sum()), lo.total_bits, dtype=np.int64),
+            np.full(
+                int(is_raw.sum(dtype=np.int64)), lo.total_bits, dtype=np.int64
+            ),
         )
         sections.append(raw_buf)
 
@@ -160,7 +165,7 @@ def encode_unpredictable(values: np.ndarray, eb: float) -> tuple[bytes, np.ndarr
 
 
 def decode_unpredictable(
-    payload: bytes, count: int, eb: float, dtype: np.dtype
+    payload: bytes | memoryview, count: int, eb: float, dtype: np.dtype
 ) -> np.ndarray:
     """Decode ``count`` values stored by :func:`encode_unpredictable`."""
     dtype = np.dtype(dtype)
@@ -175,7 +180,7 @@ def decode_unpredictable(
     out_bits = np.zeros(count, dtype=np.uint64)
     is_normal = flags == _FLAG_NORMAL
     is_raw = flags == _FLAG_RAW
-    n_normal = int(is_normal.sum())
+    n_normal = int(is_normal.sum(dtype=np.int64))
     if n_normal:
         head = unpack_varlen(
             buf,
@@ -188,14 +193,14 @@ def decode_unpredictable(
         exp = head & np.uint64((1 << lo.exp_bits) - 1)
         t = _required_bits(exp, eb, lo)
         mant_prefix = unpack_varlen(buf, t, bit_offset=offset)
-        offset += int(t.sum())
+        offset += int(t.sum(dtype=np.int64))
         offset += (-offset) % 8
         out_bits[is_normal] = (
             (sign << np.uint64(lo.total_bits - 1))
             | (exp << np.uint64(lo.mant_bits))
             | (mant_prefix << (lo.mant_bits - t).astype(np.uint64))
         )
-    n_raw = int(is_raw.sum())
+    n_raw = int(is_raw.sum(dtype=np.int64))
     if n_raw:
         raws = unpack_varlen(
             buf,

@@ -226,7 +226,7 @@ def _wavefront_decompress(
         qoff = g_codes.astype(np.float64) - radius
         recon = (pred + qoff * two_eb).astype(out_dtype).astype(np.float64)
         miss = g_codes == UNPREDICTABLE
-        nmiss = int(miss.sum())
+        nmiss = int(miss.sum(dtype=np.int64))
         if nmiss:
             recon[miss] = unpred_recon64[upos : upos + nmiss]
             upos += nmiss

@@ -78,5 +78,4 @@ def sparse_patches(
     mask_field = gaussian_random_field(shape, beta, seed)
     threshold = np.quantile(mask_field, 1.0 - coverage)
     magnitude = gaussian_random_field(shape, beta, seed + 1)
-    out = np.where(mask_field > threshold, np.abs(magnitude) + 0.1, 0.0)
-    return out
+    return np.where(mask_field > threshold, np.abs(magnitude) + 0.1, 0.0)

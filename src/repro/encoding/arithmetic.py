@@ -167,7 +167,9 @@ def encode_symbols(symbols: np.ndarray, max_bits: int = 32) -> bytes:
     return enc.finish()
 
 
-def decode_symbols(data: bytes, count: int, max_bits: int = 32) -> np.ndarray:
+def decode_symbols(
+    data: bytes | memoryview, count: int, max_bits: int = 32
+) -> np.ndarray:
     """Inverse of :func:`encode_symbols`."""
     dec = ArithmeticDecoder(data)
     length_ctx = [_Context() for _ in range(max_bits + 1)]

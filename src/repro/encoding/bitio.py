@@ -22,6 +22,8 @@ byte-identical streams, which the golden-blob fixtures pin end to end.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 __all__ = [
@@ -52,8 +54,8 @@ class BitWriter:
     def __init__(self) -> None:
         # Parallel segment lists; scalar tokens are Python ints, bulk
         # appends are ndarray segments.  Flattened once in getvalue().
-        self._vals: list = []
-        self._lens: list = []
+        self._vals: list[Any] = []
+        self._lens: list[Any] = []
         self._nbits = 0
 
     def write(self, value: int, nbits: int) -> None:
@@ -114,7 +116,7 @@ class BitWriter:
             )
         self._vals.append(values)
         self._lens.append(lengths)
-        self._nbits += int(lengths.sum())
+        self._nbits += int(lengths.sum(dtype=np.int64))
 
     def write_bits(self, bits: np.ndarray) -> None:
         """Append a 0/1 array as individual bits."""
@@ -200,14 +202,20 @@ class ScalarBitWriter:
 class BitReader:
     """Scalar MSB-first reader over ``bytes`` / ``uint8`` buffers."""
 
-    def __init__(self, buf: bytes | np.ndarray, bitpos: int = 0) -> None:
+    def __init__(
+        self,
+        buf: bytes | bytearray | memoryview | np.ndarray,
+        bitpos: int = 0,
+    ) -> None:
         # Zero-copy view over any C-contiguous buffer (bytes, bytearray,
         # memoryview, mmap, ndarray); only a non-contiguous source pays
         # for a flattening copy.
         try:
             self._buf = np.frombuffer(buf, dtype=np.uint8)
         except (ValueError, TypeError, BufferError):
-            self._buf = np.frombuffer(bytes(buf), dtype=np.uint8)
+            # Intentional one-time copy: only non-contiguous sources land
+            # here, and frombuffer needs a contiguous byte view.
+            self._buf = np.frombuffer(bytes(buf), dtype=np.uint8)  # szlint: ignore[SZ104]
         self._pos = bitpos
 
     @property
@@ -330,7 +338,7 @@ def pack_varlen(
     max_len = int(lengths.max())
     if min_len < 0 or max_len > 64:
         raise ValueError("lengths must be within [0, 64]")
-    total = int(lengths.sum())
+    total = int(lengths.sum(dtype=np.int64))
     if max_len == 0:
         return np.zeros(0, dtype=np.uint8), 0
     if min_len == max_len:
@@ -471,10 +479,11 @@ def _pack_varlen_bitplane(
     order = np.argsort(-lengths, kind="stable")
     vals_p = values[order]
     lens_p = lengths[order]
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    starts = np.concatenate(([0], np.cumsum(lengths, dtype=np.int64)[:-1]))
     starts_p = starts[order]
     hist = np.bincount(lengths, minlength=max_len + 1)
-    active = lengths.size - np.cumsum(hist)  # active[b] = count(len > b)
+    # active[b] = count(len > b)
+    active = lengths.size - np.cumsum(hist, dtype=np.int64)
     bits = np.zeros(total, dtype=np.uint8)
     for b in range(max_len):
         k = int(active[b])
@@ -513,7 +522,7 @@ def unpack_varlen(
     max_len = int(lengths.max())
     if min_len < 0 or max_len > 64:
         raise ValueError("lengths must be within [0, 64]")
-    total = int(lengths.sum())
+    total = int(lengths.sum(dtype=np.int64))
     if max_len == 0:
         return np.zeros(lengths.shape, dtype=np.uint64)
     buf_arr = (
@@ -570,10 +579,10 @@ def _unpack_varlen_bitplane(
     bits = np.unpackbits(buf)[bit_offset : bit_offset + total]
     order = np.argsort(-lengths, kind="stable")
     lens_p = lengths[order]
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    starts = np.concatenate(([0], np.cumsum(lengths, dtype=np.int64)[:-1]))
     starts_p = starts[order]
     hist = np.bincount(lengths, minlength=max_len + 1)
-    active = lengths.size - np.cumsum(hist)
+    active = lengths.size - np.cumsum(hist, dtype=np.int64)
     vals_p = np.zeros(lengths.size, dtype=np.uint64)
     for b in range(max_len):
         k = int(active[b])

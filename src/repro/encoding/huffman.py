@@ -155,7 +155,7 @@ class EncodedStream:
 
     @property
     def total_bits(self) -> int:
-        return int(self.block_bits.sum())
+        return int(self.block_bits.sum(dtype=np.uint64))
 
     def to_bytes(self) -> bytes:
         # Every field is a whole number of bytes (48 + 32 + 48 header bits,
@@ -173,7 +173,7 @@ class EncodedStream:
         return head + index.tobytes() + self.payload.tobytes()
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "EncodedStream":
+    def from_bytes(cls, buf: bytes | memoryview) -> "EncodedStream":
         if len(buf) < 16:
             raise EOFError("truncated EncodedStream header")
         n_symbols = int.from_bytes(buf[0:6], "big")
@@ -222,7 +222,9 @@ class HuffmanCodec:
             raise ValueError("negative code length (corrupt table?)")
         present = self.lengths[self.lengths > 0]
         if present.size:
-            kraft = float(np.sum(2.0 ** (-present.astype(np.float64))))
+            kraft = float(
+                np.sum(2.0 ** (-present.astype(np.float64)), dtype=np.float64)
+            )
             if kraft > 1.0 + 1e-9:
                 raise ValueError(
                     f"length table violates the Kraft inequality "
@@ -284,7 +286,7 @@ class HuffmanCodec:
         nchunks = -(-run_lens // caps)
         owner = np.repeat(np.arange(run_vals.size), nchunks)
         sizes = caps[owner].copy()
-        last = np.cumsum(nchunks) - 1
+        last = np.cumsum(nchunks, dtype=np.int64) - 1
         sizes[last] = run_lens - (nchunks - 1) * caps
         vals = run_vals[owner]
         tok_vals = np.where(
@@ -599,7 +601,7 @@ class HuffmanCodec:
             return out
         nblocks = stream.block_bits.size
         pos = 0
-        reader = BitReader(stream.payload.tobytes())
+        reader = BitReader(stream.payload)
         bit_start = 0
         for b in range(nblocks):
             reader.seek(bit_start)
@@ -623,4 +625,4 @@ class HuffmanCodec:
     def expected_bits(self, freqs: np.ndarray) -> float:
         """Total encoded size (bits) of a source with the given counts."""
         freqs = np.asarray(freqs, dtype=np.float64)
-        return float(np.sum(freqs * self.lengths))
+        return float(np.sum(freqs * self.lengths, dtype=np.float64))

@@ -40,7 +40,7 @@ def intra_segment_positions(lengths: np.ndarray) -> np.ndarray:
     ``lengths=[3,1,2]`` yields ``[0,1,2, 0, 0,1]``.
     """
     lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
+    total = int(lengths.sum(dtype=np.int64))
     if total == 0:
         return np.zeros(0, dtype=np.int64)
     return np.arange(total, dtype=np.int64) - np.repeat(

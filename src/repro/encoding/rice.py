@@ -42,7 +42,12 @@ def optimal_rice_parameter(values: np.ndarray) -> int:
     guess = max(0, int(np.log2(mean + 1.0)))
     best_k, best_bits = 0, np.inf
     for k in range(max(0, guess - 2), guess + 3):
-        bits = float(np.sum((values >> np.uint64(k)) + np.uint64(k) + np.uint64(1)))
+        bits = float(
+            np.sum(
+                (values >> np.uint64(k)) + np.uint64(k) + np.uint64(1),
+                dtype=np.uint64,
+            )
+        )
         if bits < best_bits:
             best_k, best_bits = k, bits
     return best_k

@@ -21,16 +21,21 @@ the same revision produce structurally identical reports (timings aside)
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
 import subprocess
 import sys
 import time
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.perf.timer import StageTimer, _median
+
+if TYPE_CHECKING:
+    from repro.api import SZConfig
 
 __all__ = [
     "SCHEMA",
@@ -68,7 +73,7 @@ def synth_field(shape: tuple[int, ...], dtype: str, seed: int = 0) -> np.ndarray
     return field.astype(_DTYPES[dtype])
 
 
-def _mode_config(mode: str):
+def _mode_config(mode: str) -> "SZConfig":
     """The :class:`repro.api.SZConfig` realizing one sweep mode."""
     from repro.api import SZConfig
 
@@ -85,7 +90,7 @@ def calibrate(repeats: int = 5) -> float:
     """
     rng = np.random.default_rng(12345)
     x = rng.standard_normal(1 << 21)
-    times = []
+    times: list[float] = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         y = np.cumsum(x)
@@ -97,7 +102,7 @@ def calibrate(repeats: int = 5) -> float:
 
 
 def _git_rev() -> str:
-    try:
+    with contextlib.suppress(OSError, subprocess.SubprocessError):
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             capture_output=True,
@@ -107,12 +112,10 @@ def _git_rev() -> str:
         )
         if out.returncode == 0:
             return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
     return "unknown"
 
 
-def _machine_info() -> dict:
+def _machine_info() -> dict[str, str | int]:
     return {
         "platform": platform.platform(),
         "machine": platform.machine(),
@@ -128,7 +131,7 @@ def _run_case(
     shape: tuple[int, ...],
     mode: str,
     repeats: int,
-) -> dict:
+) -> dict[str, Any]:
     from repro.api import Codec
 
     field = synth_field(shape, dtype, seed=len(shape))
@@ -185,7 +188,7 @@ def bench_report(
     dtypes: tuple[str, ...] = ("float32", "float64"),
     dims: tuple[int, ...] = (1, 2, 3),
     only: tuple[str, ...] | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Run the sweep and return the report dict (see :data:`SCHEMA`)."""
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
@@ -194,7 +197,7 @@ def bench_report(
             raise ValueError(f"unknown mode {m!r}; choose from {_ALL_MODES}")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    cases = []
+    cases: list[dict[str, Any]] = []
     for dtype in dtypes:
         for ndim in dims:
             for mode in modes:
@@ -203,7 +206,7 @@ def bench_report(
                     continue
                 shape = SCALES[scale][ndim]
                 cases.append(_run_case(name, dtype, shape, mode, repeats))
-    report = {
+    report: dict[str, Any] = {
         "schema": SCHEMA,
         "created_unix": time.time(),
         "git_rev": _git_rev(),
@@ -243,7 +246,7 @@ _REQUIRED_SIDE = ("seconds", "mb_per_s", "stages")
 _REQUIRED_STAGE = ("calls", "seconds", "bytes", "mb_per_s")
 
 
-def validate_report(report: dict) -> None:
+def validate_report(report: dict[str, Any]) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid bench report."""
     if not isinstance(report, dict):
         raise ValueError("bench report must be a JSON object")

@@ -23,6 +23,7 @@ import argparse
 import json
 import os
 import sys
+from typing import Any
 
 from repro.perf.bench import validate_report
 
@@ -36,12 +37,12 @@ tolerance (observed 1.8x between back-to-back identical runs)."""
 
 
 def compare_reports(
-    baseline: dict,
-    fresh: dict,
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
     floor_seconds: float = DEFAULT_FLOOR_SECONDS,
     normalize: bool = True,
-) -> list[dict]:
+) -> list[dict[str, Any]]:
     """Return the list of regressions (empty = gate passes).
 
     Each regression dict has ``case``, ``metric`` (``compress``,
@@ -57,7 +58,7 @@ def compare_reports(
         if base_cal > 0 and fresh_cal > 0:
             scale = base_cal / fresh_cal
     fresh_cases = {c["name"]: c for c in fresh["cases"]}
-    regressions: list[dict] = []
+    regressions: list[dict[str, Any]] = []
     for base_case in baseline["cases"]:
         name = base_case["name"]
         new_case = fresh_cases.get(name)

@@ -49,7 +49,7 @@ class StageRecord:
             return 0.0
         return self.nbytes / self.seconds / 1e6
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         return {
             "calls": self.calls,
             "seconds": self.seconds,
@@ -66,7 +66,7 @@ class _NullStage:
     def __enter__(self) -> "_NullStage":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -88,7 +88,7 @@ class _Stage:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         dt = time.perf_counter() - self._t0
         timer = self._timer
         path = "/".join(timer._stack)
@@ -123,13 +123,13 @@ class StageTimer:
         self._token = _ACTIVE.set(self)
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         _ACTIVE.reset(self._token)
 
     def stage(self, name: str, nbytes: int = 0) -> _Stage:
         return _Stage(self, name, nbytes)
 
-    def as_dict(self) -> dict[str, dict]:
+    def as_dict(self) -> dict[str, dict[str, float]]:
         """Flat ``{stage path: {calls, seconds, bytes, mb_per_s}}`` map."""
         return {path: rec.as_dict() for path, rec in sorted(self.records.items())}
 
@@ -144,7 +144,7 @@ class StageTimer:
             mine.nbytes += rec.nbytes
 
     @staticmethod
-    def median_stages(timers: list["StageTimer"]) -> dict[str, dict]:
+    def median_stages(timers: list["StageTimer"]) -> dict[str, dict[str, float]]:
         """Per-stage medians across repeat runs.
 
         ``seconds`` is the median over the runs that saw the stage;
@@ -154,7 +154,7 @@ class StageTimer:
         paths: set[str] = set()
         for t in timers:
             paths.update(t.records)
-        out: dict[str, dict] = {}
+        out: dict[str, dict[str, float]] = {}
         for path in sorted(paths):
             recs = [t.records[path] for t in timers if path in t.records]
             seconds = _median([r.seconds for r in recs])
@@ -186,7 +186,7 @@ def active_timer() -> StageTimer | None:
     return _ACTIVE.get()
 
 
-def stage(name: str, nbytes: int = 0):
+def stage(name: str, nbytes: int = 0) -> "_Stage | _NullStage":
     """Record a stage on the active timer (no-op when none is active).
 
     ``nbytes`` is the payload size the stage processes; it feeds the

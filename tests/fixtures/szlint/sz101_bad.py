@@ -1,0 +1,17 @@
+"""SZ101 fixture: writer/reader format drift.
+
+The writer packs a 6-byte offset but the reader slices only 4 bytes,
+and the reader consumes a 2-byte count the writer never produces.
+"""
+
+
+def write_entry(fh, offset: int, length: int) -> None:
+    fh.write(offset.to_bytes(6, "big"))
+    fh.write(length.to_bytes(4, "big"))
+
+
+def read_entry(buf: bytes) -> tuple[int, int]:
+    offset = int.from_bytes(buf[0:4], "big")
+    length = int.from_bytes(buf[4:8], "big")
+    count = int.from_bytes(buf[8:10], "big")
+    return offset, length + count

@@ -1,0 +1,19 @@
+"""SZ101 fixture: every pack width has a byte-compatible unpack partner."""
+
+
+def write_entry(fh, offset: int, length: int, count: int) -> None:
+    fh.write(offset.to_bytes(6, "big"))
+    fh.write(length.to_bytes(4, "big"))
+    fh.write(count.to_bytes(2, "big"))
+
+
+def read_entry(buf: bytes) -> tuple[int, int, int]:
+    offset = int.from_bytes(buf[0:6], "big")
+    length = int.from_bytes(buf[6:10], "big")
+    count = int.from_bytes(buf[10:12], "big")
+    return offset, length, count
+
+
+def read_entry_at(buf: bytes, pos: int) -> int:
+    # Symbolic slice bounds: width is still derivable (pos+6 - pos = 6).
+    return int.from_bytes(buf[pos : pos + 6], "big")

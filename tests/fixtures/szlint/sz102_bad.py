@@ -1,0 +1,15 @@
+"""SZ102 fixture: nondeterminism in an encode/decode module."""
+
+import random
+import time
+
+import numpy as np
+
+
+def encode_block(values: np.ndarray) -> int:
+    seed = time.time()
+    jitter = random.random()
+    total = values.sum()
+    for item in {1, 2, 3}:
+        total += item
+    return int(total + seed + jitter + id(values))

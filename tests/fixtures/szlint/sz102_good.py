@@ -1,0 +1,15 @@
+"""SZ102 fixture: deterministic encode-path idioms that must stay legal."""
+
+import time
+
+import numpy as np
+
+
+def encode_block(values: np.ndarray, keys: set) -> int:
+    t0 = time.perf_counter()  # diagnostics-only clock is fine
+    total = int(values.sum(dtype=np.int64))
+    total += sum(range(4))  # builtin sum over Python ints is deterministic
+    for key in sorted(keys):
+        total += key
+    _ = time.perf_counter() - t0
+    return total

@@ -1,0 +1,11 @@
+"""SZ103 fixture: internal caller still on the deprecated bound shim."""
+
+from repro.core import compress
+
+
+def snapshot(data) -> bytes:
+    return compress(data, abs_bound=1e-3)
+
+
+def snapshot_rel(data) -> bytes:
+    return compress(data, rel_bound=1e-4, layers=2)

@@ -1,0 +1,12 @@
+"""SZ103 fixture: callers on the mode=/bound= spelling (and configs)."""
+
+from repro.api import SZConfig
+from repro.core import compress
+
+
+def snapshot(data) -> bytes:
+    return compress(data, mode="abs", bound=1e-3)
+
+
+def snapshot_cfg(data) -> bytes:
+    return compress(data, config=SZConfig(mode="rel", bound=1e-4))

@@ -1,0 +1,12 @@
+"""SZ104 fixture: avoidable copies on the decode path."""
+
+import numpy as np
+
+
+def decode_payload(arr: np.ndarray) -> bytes:
+    return arr.tobytes()
+
+
+class TileReader:
+    def fetch(self, view: memoryview) -> np.ndarray:
+        return np.frombuffer(bytes(view), dtype=np.uint8)

@@ -1,0 +1,12 @@
+"""SZ104 fixture: zero-copy decode-path idioms."""
+
+import numpy as np
+
+
+def decode_payload(view: memoryview) -> np.ndarray:
+    return np.frombuffer(view, dtype=np.uint8)
+
+
+def encode_payload(arr: np.ndarray) -> bytes:
+    # Copies on the *encode* path are out of scope for SZ104.
+    return arr.tobytes()

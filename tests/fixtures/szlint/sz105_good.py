@@ -1,0 +1,16 @@
+"""SZ105 fixture: entry points that accept a config object."""
+
+
+def compress_stream(data, tile_shape=None, workers=1, out=None, *, config=None):
+    return data, tile_shape, workers, out, config
+
+
+def compress_stream_annotated(
+    data, a=None, b=None, c=None, d=None, e=None, settings: "SZConfig" = None
+):
+    return data, a, b, c, d, e, settings
+
+
+def _private_helper(a, b, c, d, e, f, g):
+    # Private helpers may take wide positional lists.
+    return a + b + c + d + e + f + g

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -111,8 +113,7 @@ class TestFuzzing:
         b = compress(data * 2, mode="rel", bound=1e-2)
         # splice the tail of b onto the head of a
         chimera = a[: len(a) // 2] + b[len(b) // 2 :]
-        try:
+        # A clean reject is fine; anything decoded must keep the shape.
+        with contextlib.suppress(ValueError, EOFError):
             out = decompress(chimera)
             assert out.shape == data.shape
-        except (ValueError, EOFError):
-            pass

@@ -1,0 +1,1 @@
+"""Developer tooling for the SZ-1.4 reproduction (not shipped with the package)."""

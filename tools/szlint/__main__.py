@@ -1,0 +1,76 @@
+"""CLI: ``python -m tools.szlint src [--json] [--select SZ101,SZ102]``.
+
+Exit status 0 when the tree is clean, 1 when any diagnostic (or parse
+error) was reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.szlint.engine import lint_paths
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.szlint",
+        description="repo-specific AST lint rules (SZ101..SZ105)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to lint (e.g. src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--force-scope",
+        action="store_true",
+        help="run every rule on every file, ignoring path scopes "
+        "(for linting fixture snippets)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"szlint: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    select = (
+        {r.strip() for r in args.select.split(",") if r.strip()}
+        if args.select
+        else None
+    )
+    result = lint_paths(paths, select=select, force_scope=args.force_scope)
+    if args.json:
+        json.dump(result.as_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for diag in result.diagnostics:
+            print(diag.format())
+        for err in result.errors:
+            print(f"szlint: error: {err}", file=sys.stderr)
+        status = "clean" if result.ok else f"{len(result.diagnostics)} finding(s)"
+        print(f"szlint: {result.files_checked} file(s) checked, {status}")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Diagnostic model and ``# szlint: ignore[...]`` comment handling."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "parse_ignores", "is_suppressed"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*szlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: rule ID, location and a human-readable message."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def parse_ignores(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule IDs suppressed on that line.
+
+    ``# szlint: ignore`` (no bracket) suppresses every rule on its line
+    and is represented by an empty frozenset.
+    """
+    ignores: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(text)
+        if m is None:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            ignores[lineno] = frozenset()
+        else:
+            ignores[lineno] = frozenset(
+                r.strip() for r in rules.split(",") if r.strip()
+            )
+    return ignores
+
+
+def is_suppressed(
+    diag: Diagnostic, ignores: dict[int, frozenset[str]]
+) -> bool:
+    """True when an ignore comment on the diagnostic's line covers its rule."""
+    rules = ignores.get(diag.line)
+    if rules is None:
+        return False
+    return not rules or diag.rule in rules

@@ -1,0 +1,109 @@
+"""szlint engine: file collection, rule dispatch, suppression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import ast
+
+from tools.szlint.diagnostics import Diagnostic, is_suppressed, parse_ignores
+from tools.szlint.rules import Rule, all_rules
+
+__all__ = ["LintResult", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "count": len(self.diagnostics),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "errors": self.errors,
+        }
+
+
+def _collect_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for f in files:
+        r = f.resolve()
+        if r not in seen:
+            seen.add(r)
+            unique.append(f)
+    return unique
+
+
+def _module_key(path: Path) -> str:
+    """Posix path string rules match their scope fragments against."""
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: list[Path],
+    select: set[str] | None = None,
+    force_scope: bool = False,
+    rules: list[Rule] | None = None,
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` with the SZ1xx rule pack.
+
+    ``select`` restricts to the given rule IDs; ``force_scope`` runs
+    every rule on every file regardless of its ``applies`` predicate
+    (used by the fixture tests, where known-bad snippets live outside
+    the rules' normal path scopes).
+    """
+    active = rules if rules is not None else all_rules()
+    if select is not None:
+        active = [r for r in active if r.rule_id in select]
+    diagnostics: list[Diagnostic] = []
+    errors: list[str] = []
+    files = _collect_files(paths)
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            errors.append(f"{path}: {exc}")
+            continue
+        module = _module_key(path)
+        ignores = parse_ignores(source)
+        for rule in active:
+            if not force_scope and not rule.applies(module):
+                continue
+            for diag in rule.check(str(path), module, tree, source):
+                if not is_suppressed(diag, ignores):
+                    diagnostics.append(diag)
+    # Cross-file rules report after the whole tree was scanned; their
+    # diagnostics honor ignore comments too.
+    ignores_by_path: dict[str, dict[int, frozenset[str]]] = {}
+    for path in files:
+        try:
+            ignores_by_path[str(path)] = parse_ignores(
+                path.read_text(encoding="utf-8")
+            )
+        except OSError:
+            ignores_by_path[str(path)] = {}
+    for rule in active:
+        for diag in rule.finalize():
+            if not is_suppressed(diag, ignores_by_path.get(diag.path, {})):
+                diagnostics.append(diag)
+    diagnostics.sort()
+    return LintResult(diagnostics, files_checked=len(files), errors=errors)

@@ -1,0 +1,135 @@
+"""SZ101 — writer/reader byte-width pairing in container modules.
+
+Every byte-width literal on the pack side of a container module
+(``value.to_bytes(N, "big")``, ``struct.pack("fmt", ...)``) must have a
+byte-compatible partner on the unpack side of the same module group
+(``int.from_bytes(buf[a:b], ...)`` with a statically derivable slice
+width, ``struct.unpack``/``calcsize``) — and vice versa: an unpack width
+with no pack partner is a *dead read*, usually a stale format string
+left behind by a writer change.  This is the static form of the
+container-format drift the golden-blob fixtures catch at runtime.
+
+Modules are grouped per file (all current containers keep writer and
+reader together); ``PAIRED_MODULES`` merges split writer/reader files
+into one group.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from dataclasses import dataclass, field
+
+from tools.szlint.asthelpers import (
+    callee_name,
+    int_literal,
+    slice_width,
+    str_literal,
+)
+from tools.szlint.diagnostics import Diagnostic
+from tools.szlint.rules import Rule
+
+__all__ = ["SZ101"]
+
+#: writer-module suffix -> reader-module suffix merged into one group.
+#: All current container modules are self-paired, so this is empty; a
+#: future split (e.g. chunked/writer.py vs chunked/reader.py) adds an
+#: entry here instead of weakening the rule.
+PAIRED_MODULES: dict[str, str] = {}
+
+_PACK_CALLS = {"pack", "pack_into"}
+_UNPACK_CALLS = {"unpack", "unpack_from", "calcsize"}
+
+
+@dataclass
+class _Group:
+    """Widths seen on each side of one module group, with first location."""
+
+    pack: dict[int, tuple[str, int]] = field(default_factory=dict)
+    unpack: dict[int, tuple[str, int]] = field(default_factory=dict)
+
+
+def _struct_size(fmt: str) -> int | None:
+    try:
+        return struct.calcsize(fmt)
+    except struct.error:
+        return None
+
+
+class SZ101(Rule):
+    rule_id = "SZ101"
+
+    def __init__(self) -> None:
+        self._groups: dict[str, _Group] = {}
+
+    def applies(self, module: str) -> bool:
+        # Any module can define a container; the rule only fires when a
+        # file (group) actually has width literals on at least one side.
+        return True
+
+    def _group_key(self, module: str) -> str:
+        for writer, reader in PAIRED_MODULES.items():
+            if module.endswith(writer) or module.endswith(reader):
+                return writer
+        return module
+
+    def check(
+        self, path: str, module: str, tree: ast.Module, source: str
+    ) -> list[Diagnostic]:
+        group = self._groups.setdefault(self._group_key(module), _Group())
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = callee_name(node)
+            if name == "to_bytes" and node.args:
+                width = int_literal(node.args[0])
+                if width is not None:
+                    group.pack.setdefault(width, (path, node.lineno))
+            elif name == "from_bytes" and node.args:
+                width = slice_width(node.args[0])
+                if width is not None:
+                    group.unpack.setdefault(width, (path, node.lineno))
+            elif name in _PACK_CALLS and node.args:
+                fmt = str_literal(node.args[0])
+                if fmt is not None:
+                    size = _struct_size(fmt)
+                    if size is not None:
+                        group.pack.setdefault(size, (path, node.lineno))
+            elif name in _UNPACK_CALLS and node.args:
+                fmt = str_literal(node.args[0])
+                if fmt is not None:
+                    size = _struct_size(fmt)
+                    if size is not None:
+                        group.unpack.setdefault(size, (path, node.lineno))
+        return []
+
+    def finalize(self) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for group in self._groups.values():
+            if not group.pack or not group.unpack:
+                # A pure writer (or pure reader) group has its partner
+                # outside the checked tree; pairing is not decidable.
+                continue
+            for width, (path, line) in sorted(group.pack.items()):
+                if width not in group.unpack:
+                    out.append(
+                        Diagnostic(
+                            path,
+                            line,
+                            self.rule_id,
+                            f"pack width {width} has no unpack partner in "
+                            "its module group (writer/reader format drift)",
+                        )
+                    )
+            for width, (path, line) in sorted(group.unpack.items()):
+                if width not in group.pack:
+                    out.append(
+                        Diagnostic(
+                            path,
+                            line,
+                            self.rule_id,
+                            f"unpack width {width} has no pack partner in "
+                            "its module group (dead read / stale format)",
+                        )
+                    )
+        return out

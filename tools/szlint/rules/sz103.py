@@ -1,0 +1,75 @@
+"""SZ103 — deprecation isolation for the legacy bound-keyword shims.
+
+PR 5 moved every entry point onto :class:`repro.api.SZConfig`; the old
+``abs_bound=`` / ``rel_bound=`` keywords survive only as deprecated
+shims that warn at runtime.  The CI ``deprecation-clean`` job proves the
+*tested* paths are clean; this rule proves it statically for the whole
+tree: no internal module may call a shim entry point with a legacy
+keyword.
+
+Exempt: the modules that *define* the shims (they must forward the
+keywords to normalize them), and the normalizers themselves
+(``SZConfig.from_kwargs`` / ``ErrorBound.from_args`` accept the
+keywords by design).  Baseline compressors with their own
+``abs_bound``-style APIs are not flagged because matching is by callee
+name, limited to the shim entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.szlint.asthelpers import callee_name, has_keyword
+from tools.szlint.diagnostics import Diagnostic
+from tools.szlint.rules import Rule
+
+__all__ = ["SZ103"]
+
+#: entry points whose abs_bound/rel_bound keywords are deprecated shims.
+SHIM_CALLEES = {
+    "compress",
+    "compress_with_stats",
+    "SZ14Compressor",
+    "compress_tiled",
+    "compress_file_tiled",
+    "TiledWriter",
+}
+
+#: modules that define (and must forward) the shims.
+EXEMPT_MODULES = (
+    "repro/core/compressor.py",
+    "repro/chunked/tiled.py",
+    "repro/chunked/streams.py",
+)
+
+_LEGACY_KEYWORDS = ("abs_bound", "rel_bound")
+
+
+class SZ103(Rule):
+    rule_id = "SZ103"
+
+    def applies(self, module: str) -> bool:
+        return not module.endswith(EXEMPT_MODULES)
+
+    def check(
+        self, path: str, module: str, tree: ast.Module, source: str
+    ) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = callee_name(node)
+            if name in SHIM_CALLEES and has_keyword(
+                node, *_LEGACY_KEYWORDS
+            ):
+                out.append(
+                    Diagnostic(
+                        path,
+                        node.lineno,
+                        self.rule_id,
+                        f"call to `{name}` with deprecated abs_bound/"
+                        "rel_bound keywords; build an SZConfig "
+                        "(SZConfig.from_kwargs) and pass config=",
+                    )
+                )
+        return out

@@ -1,0 +1,116 @@
+"""SZ104 — zero-copy guard for the decode path.
+
+PR 5's decode path hands out ``memoryview`` slices end to end; one
+stray ``.tobytes()`` (or ``bytes(buf)``) silently reintroduces a full
+payload copy and the perf gate only notices once the regression exceeds
+its tolerance.  Inside decode-side functions this rule flags:
+
+* ``x.tobytes()`` — materializes a memoryview/ndarray;
+* ``bytes(x)`` where ``x`` is a name or attribute — copies a buffer
+  (``bytes(5)`` and ``b"..."`` literals are fine).
+
+Decode-side means: functions whose name contains ``decode``,
+``decompress``, ``unpack`` or ``read``, and methods of classes named
+``*Reader``/``*Source``.  Intentional copies (e.g. a fallback for
+non-contiguous input) take a ``# szlint: ignore[SZ104]`` with a short
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.szlint.diagnostics import Diagnostic
+from tools.szlint.rules import Rule
+
+__all__ = ["SZ104"]
+
+#: path fragments containing decode-path modules.
+SCOPE = (
+    "repro/core/",
+    "repro/encoding/",
+    "repro/chunked/",
+    "repro/api/",
+    "repro/parallel/",
+)
+
+_DECODE_FUNC = re.compile(r"decode|decompress|unpack|read", re.IGNORECASE)
+_DECODE_CLASS = re.compile(r"Reader|Source")
+
+
+class SZ104(Rule):
+    rule_id = "SZ104"
+
+    def applies(self, module: str) -> bool:
+        return any(fragment in module for fragment in SCOPE)
+
+    def check(
+        self, path: str, module: str, tree: ast.Module, source: str
+    ) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+
+        def scan(func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "tobytes"
+                ):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            node.lineno,
+                            self.rule_id,
+                            "`.tobytes()` copies the buffer inside the "
+                            "decode path; keep the memoryview",
+                        )
+                    )
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "bytes"
+                    and len(node.args) == 1
+                    and isinstance(node.args[0], (ast.Name, ast.Attribute))
+                ):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            node.lineno,
+                            self.rule_id,
+                            "`bytes(...)` copies the buffer inside the "
+                            "decode path; keep the memoryview",
+                        )
+                    )
+
+        class _Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self._class_stack: list[str] = []
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self._class_stack.append(node.name)
+                self.generic_visit(node)
+                self._class_stack.pop()
+
+            def _visit_func(
+                self, node: ast.FunctionDef | ast.AsyncFunctionDef
+            ) -> None:
+                in_reader_class = bool(
+                    self._class_stack
+                    and _DECODE_CLASS.search(self._class_stack[-1])
+                )
+                if in_reader_class or _DECODE_FUNC.search(node.name):
+                    scan(node)
+                else:
+                    self.generic_visit(node)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._visit_func(node)
+
+            def visit_AsyncFunctionDef(
+                self, node: ast.AsyncFunctionDef
+            ) -> None:
+                self._visit_func(node)
+
+        _Visitor().visit(tree)
+        return out

@@ -1,0 +1,91 @@
+"""SZ105 — config discipline for public entry points.
+
+ROADMAP rule since PR 5: new subsystems take an
+:class:`repro.api.SZConfig` (or extend it) rather than grow keyword
+lists.  This rule flags public functions and methods in the API-surface
+modules whose signatures have grown past ``MAX_PLAIN_PARAMS`` named
+parameters without accepting a config object — the exact drift the
+SZConfig migration was meant to stop.
+
+A parameter named ``config`` (or annotated ``SZConfig``) exempts the
+signature; so do private (``_``-prefixed) functions and dunder methods.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.szlint.diagnostics import Diagnostic
+from tools.szlint.rules import Rule
+
+__all__ = ["SZ105"]
+
+#: path fragments containing the public API surface.
+SCOPE = (
+    "repro/api/",
+    "repro/core/compressor.py",
+    "repro/chunked/tiled.py",
+    "repro/chunked/streams.py",
+)
+
+#: named parameters (excluding self/cls, *args/**kwargs) a public entry
+#: point may have before it must take a config object instead.
+MAX_PLAIN_PARAMS = 5
+
+_CONFIG_NAMES = {"config", "cfg"}
+_CONFIG_ANNOTATIONS = {"SZConfig"}
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1].strip()
+    return None
+
+
+class SZ105(Rule):
+    rule_id = "SZ105"
+
+    def applies(self, module: str) -> bool:
+        return any(fragment in module for fragment in SCOPE)
+
+    def check(
+        self, path: str, module: str, tree: ast.Module, source: str
+    ) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            args = node.args
+            params = list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            )
+            if params and params[0].arg in {"self", "cls"}:
+                params = params[1:]
+            n_named = len(params)
+            if n_named <= MAX_PLAIN_PARAMS:
+                continue
+            takes_config = any(
+                p.arg in _CONFIG_NAMES
+                or (_annotation_name(p.annotation) in _CONFIG_ANNOTATIONS)
+                for p in params
+            )
+            if takes_config:
+                continue
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    self.rule_id,
+                    f"public entry point `{node.name}` has {n_named} "
+                    f"named parameters (> {MAX_PLAIN_PARAMS}) and no "
+                    "SZConfig; extend SZConfig instead of the keyword "
+                    "list",
+                )
+            )
+        return out
