@@ -39,9 +39,11 @@ from repro.core import (
     decompress,
 )
 from repro.metrics import verify_bound
+from repro.obs import Collector
 
 __all__ = [
     "Codec",
+    "Collector",
     "CompressionStats",
     "ErrorBound",
     "SZ14Compressor",

@@ -31,6 +31,7 @@ local :func:`get_codec` works identically without the dependency.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -41,6 +42,7 @@ if TYPE_CHECKING:
     from repro.chunked.io import ByteAccountant
     from repro.chunked.streams import TiledReader, TiledWriter
     from repro.core.compressor import CompressionStats
+    from repro.obs.tracer import Collector
 
     # The optional numcodecs base class is opaque to the type checker;
     # the adapter only relies on the methods it defines itself.
@@ -85,7 +87,10 @@ class Codec(_NumcodecsBase):
     codec_id = "sz14-repro"
 
     def __init__(
-        self, config: SZConfig | dict[str, Any] | None = None, **kwargs: Any
+        self,
+        config: SZConfig | dict[str, Any] | None = None,
+        collector: "Collector | None" = None,
+        **kwargs: Any,
     ) -> None:
         if config is not None and kwargs:
             raise ValueError("pass either a config object or keywords, not both")
@@ -98,6 +103,19 @@ class Codec(_NumcodecsBase):
                 f"config must be an SZConfig or a dict, got {config!r}"
             )
         self.config = config
+        #: optional :class:`repro.obs.Collector` activated around every
+        #: encode/decode call — runtime state, excluded from equality
+        #: and :meth:`get_config` (it is not part of the codec identity).
+        self.collector = collector
+
+    def _collecting(self) -> Any:
+        """Context manager activating this codec's collector (if any).
+
+        An ambient collector (one already activated by the caller) wins
+        implicitly: activation nests, and the innermost active collector
+        receives the telemetry.
+        """
+        return self.collector if self.collector is not None else nullcontext()
 
     # -- numcodecs contract ------------------------------------------------
 
@@ -105,14 +123,16 @@ class Codec(_NumcodecsBase):
         """Compress a float32/float64 buffer into container bytes."""
         from repro.core.compressor import compress_array
 
-        blob, _ = compress_array(_as_float_array(buf), self.config)
+        with self._collecting():
+            blob, _ = compress_array(_as_float_array(buf), self.config)
         return blob
 
     def encode_with_stats(self, buf: Any) -> tuple[bytes, CompressionStats]:
         """:meth:`encode` plus the :class:`CompressionStats` diagnostics."""
         from repro.core.compressor import compress_array
 
-        return compress_array(_as_float_array(buf), self.config)
+        with self._collecting():
+            return compress_array(_as_float_array(buf), self.config)
 
     def decode(self, buf: Any, out: Any = None) -> np.ndarray:
         """Decompress container bytes (any buffer-protocol object).
@@ -124,7 +144,8 @@ class Codec(_NumcodecsBase):
         """
         from repro.core.compressor import decompress
 
-        return decompress(buf, out=out)
+        with self._collecting():
+            return decompress(buf, out=out)
 
     def get_config(self) -> dict[str, Any]:
         """numcodecs-style config dict: ``{"id": codec_id, **knobs}``."""
@@ -162,19 +183,21 @@ class Codec(_NumcodecsBase):
         """
         from repro.chunked.tiled import compress_tiled
 
-        return compress_tiled(
-            data,
-            tile_shape=tile_shape if tile_shape is not None
-            else self.config.tile_shape,
-            out=out,
-            config=self.config,
-        )
+        with self._collecting():
+            return compress_tiled(
+                data,
+                tile_shape=tile_shape if tile_shape is not None
+                else self.config.tile_shape,
+                out=out,
+                config=self.config,
+            )
 
     def decode_tiled(self, src: Any) -> np.ndarray:
         """Decompress a tiled container (bytes, path or handle)."""
         from repro.chunked.tiled import decompress_tiled
 
-        return decompress_tiled(src)
+        with self._collecting():
+            return decompress_tiled(src)
 
     def decode_region(
         self, src: Any, region: Any, accountant: ByteAccountant | None = None
@@ -182,7 +205,8 @@ class Codec(_NumcodecsBase):
         """Decode only the tiles of ``src`` intersecting ``region``."""
         from repro.chunked.tiled import decompress_region
 
-        return decompress_region(src, region, accountant=accountant)
+        with self._collecting():
+            return decompress_region(src, region, accountant=accountant)
 
     def open_writer(
         self,
@@ -219,13 +243,14 @@ class Codec(_NumcodecsBase):
         """Compress an ``.npy`` file slab by slab (larger-than-RAM safe)."""
         from repro.chunked.tiled import compress_file_tiled
 
-        return compress_file_tiled(
-            npy_path,
-            out,
-            tile_shape=tile_shape if tile_shape is not None
-            else self.config.tile_shape,
-            config=self.config,
-        )
+        with self._collecting():
+            return compress_file_tiled(
+                npy_path,
+                out,
+                tile_shape=tile_shape if tile_shape is not None
+                else self.config.tile_shape,
+                config=self.config,
+            )
 
 
 _REGISTRY: dict[str, type[Codec]] = {}

@@ -79,6 +79,7 @@ __all__ = [
     "ENTRY_BYTES",
     "MODED_ENTRY_BYTES",
     "entry_bytes",
+    "footer_summary",
 ]
 
 MAGIC = b"SZRT"
@@ -292,6 +293,47 @@ def parse_index(
             )
         )
     return entries
+
+
+def footer_summary(entries: list[TileEntry]) -> dict[str, Any]:
+    """Distribution summaries over the footer index — no decompression.
+
+    Everything here derives from the per-tile quadruple the index
+    already stores, so the cost is proportional to ``n_tiles``, never to
+    the payload.  The ``*_hist`` keys are 10-bin counts over ``[0, 1]``
+    (rate quantities) used by ``info --json`` and the ``trace`` command
+    to show how tiles spread without listing every one.
+    """
+    n = len(entries)
+    if n == 0:
+        return {"n_tiles": 0}
+
+    def _dist(values: list[float]) -> dict[str, float]:
+        return {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }
+
+    def _rate_hist(values: list[float]) -> list[int]:
+        counts = [0] * 10
+        for v in values:
+            counts[min(9, max(0, int(v * 10)))] += 1
+        return counts
+
+    hit_rates = [e.hit_rate for e in entries]
+    mode_shares = [e.mode_share for e in entries]
+    return {
+        "n_tiles": n,
+        "n_values": sum(e.n_values for e in entries),
+        "n_unpredictable": sum(e.n_unpredictable for e in entries),
+        "payload_bytes": sum(e.length for e in entries),
+        "hit_rate": _dist(hit_rates),
+        "hit_rate_hist": _rate_hist(hit_rates),
+        "mode_share": _dist(mode_shares),
+        "mode_share_hist": _rate_hist(mode_shares),
+        "nonzero_bins": _dist([float(e.nonzero_bins) for e in entries]),
+    }
 
 
 def build_tail(index_offset: int, index_length: int, index_crc: int) -> bytes:

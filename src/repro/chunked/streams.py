@@ -40,6 +40,7 @@ from repro.chunked.format import (
     build_index,
     build_tail,
     entry_bytes,
+    footer_summary,
     parse_index,
     parse_tail,
     read_header,
@@ -48,6 +49,7 @@ from repro.chunked.format import (
 )
 from repro.chunked.io import ByteAccountant, open_source
 from repro.core.compressor import LEGACY_BOUND_MSG, compress_array, decompress
+from repro.obs.tracer import metric_add, metric_observe, span
 from repro.parallel.pool import pool_map
 
 __all__ = ["TiledWriter", "TiledReader"]
@@ -59,8 +61,9 @@ def _tile_job(args) -> tuple[bytes, int, int, int]:
     Module-level so the process pool can pickle it; the frozen
     ``SZConfig`` travels to the workers instead of a kwargs dict.
     """
-    tile, config = args
-    blob, stats = compress_array(np.ascontiguousarray(tile), config)
+    tile, config, index = args
+    with span("tile", tile=index, shape=tuple(tile.shape)):
+        blob, stats = compress_array(np.ascontiguousarray(tile), config)
     hist = stats.code_histogram
     mode_count = int(hist.max()) if hist is not None and hist.size else 0
     nonzero = (
@@ -227,9 +230,16 @@ class TiledWriter:
                     f"tile dtype {tile.dtype} != container dtype "
                     f"{self.header.dtype}"
                 )
-        jobs = [(tile, self.config) for tile in tiles]
+        jobs = [
+            (tile, self.config, self._next_tile + i)
+            for i, tile in enumerate(tiles)
+        ]
         results = pool_map(_tile_job, jobs, n_workers=self.workers)
         for (blob, n_unpred, mode_count, nonzero), tile in zip(results, tiles):
+            metric_add("tile/count")
+            metric_observe(
+                "tile/compression_factor", tile.nbytes / max(1, len(blob))
+            )
             self._entries.append(
                 TileEntry(
                     offset=self._offset,
@@ -388,9 +398,11 @@ class TiledReader:
         entry = self.entries[index]
         blob = self._src.read_at(entry.offset, entry.length)
         if zlib.crc32(blob) & 0xFFFFFFFF != entry.crc32:
+            metric_add("crc/mismatch")
             raise ValueError(
                 f"corrupt tiled container: tile {index} CRC mismatch"
             )
+        metric_add("crc/verified")
         return blob
 
     def read_tile(self, index: int) -> np.ndarray:
@@ -504,6 +516,7 @@ class TiledReader:
             "tile_values": n_vals,
             "tile_compression_factors": cfs,
             "tile_hit_rates": [e.hit_rate for e in self.entries],
+            "tile_summary": footer_summary(self.entries),
         }
 
     def close(self) -> None:

@@ -26,6 +26,18 @@ Subcommands
 ``bench [--scale tiny|small|large] [--out BENCH_micro.json]``
     Run the perf micro-benchmark sweep (see :mod:`repro.perf.bench`)
     and write the schema-versioned stage-breakdown report.
+``trace FILE [--chrome OUT.json]``
+    Summarize telemetry.  On a ``--trace`` run report (``repro-obs/1``
+    JSON): print the span/metric summary, optionally converting to a
+    Chrome trace-event file loadable in ``chrome://tracing`` /
+    Perfetto.  On a tiled container: print the footer-index tile
+    distribution (hit-rate/mode-share histograms) without
+    decompressing anything.
+
+``compress``/``decompress``/``bench`` accept ``--trace OUT.json`` to
+record the run under a :class:`repro.obs.Collector` and write the
+schema-versioned run report (the compressed bytes are identical with
+and without tracing).
 """
 
 from __future__ import annotations
@@ -150,6 +162,29 @@ def _parse_region(spec: str) -> tuple:
     return tuple(items)
 
 
+def _traced(args):
+    """Run the command body under a collector when ``--trace`` was given.
+
+    Returns a ``(run, finish)`` pair: call the body inside ``run`` (a
+    context manager) and ``finish()`` afterwards to write the run
+    report.  With no ``--trace`` both are no-ops.
+    """
+    from contextlib import nullcontext
+
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return nullcontext(), lambda: None
+    from repro.obs import Collector, write_run_report
+
+    collector = Collector()
+
+    def finish() -> None:
+        write_run_report(collector, trace_path)
+        print(f"trace: {len(collector.spans)} spans -> {trace_path}")
+
+    return collector, finish
+
+
 def _cmd_compress(args) -> int:
     if args.mode is not None and args.bound is None:
         raise SystemExit(f"--mode {args.mode} requires --bound")
@@ -169,6 +204,14 @@ def _cmd_compress(args) -> int:
         adaptive=args.adaptive,
         workers=args.workers,
     )
+    run, finish = _traced(args)
+    with run:
+        rc = _compress_body(args, config)
+    finish()
+    return rc
+
+
+def _compress_body(args, config) -> int:
     if args.tile is not None:
         from repro.chunked import compress_file_tiled
 
@@ -199,6 +242,14 @@ def _cmd_compress(args) -> int:
 
 
 def _cmd_decompress(args) -> int:
+    run, finish = _traced(args)
+    with run:
+        rc = _decompress_body(args)
+    finish()
+    return rc
+
+
+def _decompress_body(args) -> int:
     from repro.chunked import decompress_region, is_tiled
 
     with open(args.input, "rb") as fh:
@@ -244,6 +295,7 @@ def _cmd_info(args) -> int:
     tile_values = info.pop("tile_values", None)
     hit_rates = info.pop("tile_hit_rates", None)
     info.pop("tile_compression_factors", None)
+    summary = info.pop("tile_summary", None)
     for key, value in info.items():
         print(f"{key:18s} {value}")
     if tile_bytes:
@@ -259,6 +311,58 @@ def _cmd_info(args) -> int:
             f"{'tile hit rate':18s} mean {np.mean(hit_rates):.1%}  "
             f"min {np.min(hit_rates):.1%}"
         )
+    if summary and summary.get("n_tiles"):
+        print(f"{'hit-rate hist':18s} {summary['hit_rate_hist']}")
+        print(f"{'mode-share hist':18s} {summary['mode_share_hist']}")
+    return 0
+
+
+def _print_footer_summary(path: str) -> int:
+    """Tile-distribution summary straight from a tiled container's footer."""
+    from repro.chunked.streams import TiledReader
+
+    with TiledReader(path) as reader:
+        info = reader.info()
+    summary = info["tile_summary"]
+    print(f"{path}: {info['format']}, {summary['n_tiles']} tiles")
+    for key in ("n_values", "n_unpredictable", "payload_bytes"):
+        print(f"{key:18s} {summary[key]}")
+    for key in ("hit_rate", "mode_share", "nonzero_bins"):
+        d = summary[key]
+        print(
+            f"{key:18s} min {d['min']:.4g}  mean {d['mean']:.4g}  "
+            f"max {d['max']:.4g}"
+        )
+    print(f"{'hit-rate hist':18s} {summary['hit_rate_hist']}")
+    print(f"{'mode-share hist':18s} {summary['mode_share_hist']}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.chunked import is_tiled
+    from repro.obs import chrome_trace, summarize_run_report, validate_run_report
+
+    with open(args.input, "rb") as fh:
+        head = fh.read(4)
+    if is_tiled(head):
+        if args.chrome:
+            raise SystemExit(
+                "--chrome needs a run report (JSON written by --trace), "
+                "not a container"
+            )
+        return _print_footer_summary(args.input)
+    try:
+        with open(args.input) as fh:
+            report = json.load(fh)
+        validate_run_report(report)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SystemExit(f"{args.input}: not a run report: {exc}") from None
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(chrome_trace(report), fh, indent=2)
+            fh.write("\n")
+        print(f"chrome trace: {args.chrome}")
+    print(summarize_run_report(report))
     return 0
 
 
@@ -271,6 +375,8 @@ def _cmd_bench(args) -> int:
         argv += ["--only", args.only]
     if args.modes:
         argv += ["--modes", args.modes]
+    if args.trace:
+        argv += ["--trace", args.trace]
     return bench_main(argv)
 
 
@@ -328,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=1,
         help="process-pool width for tiled compression",
     )
+    p_c.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record spans/metrics and write a repro-obs/1 run report",
+    )
     p_c.set_defaults(func=_cmd_compress)
 
     p_d = sub.add_parser("decompress", help="decompress a container")
@@ -337,6 +447,10 @@ def main(argv: list[str] | None = None) -> int:
         "--region", default=None, metavar="S0,S1,...",
         help="extract a hyperslab, e.g. '0:10,5:20,3'; on tiled "
              "containers only the intersecting tiles are read",
+    )
+    p_d.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record spans/metrics and write a repro-obs/1 run report",
     )
     p_d.set_defaults(func=_cmd_decompress)
 
@@ -360,7 +474,23 @@ def main(argv: list[str] | None = None) -> int:
     p_b.add_argument("--modes", default=None,
                      help="comma-separated modes (abs,rel,pw_rel,psnr)")
     p_b.add_argument("--out", default="BENCH_micro.json")
+    p_b.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record the sweep's spans/metrics as a repro-obs/1 run report",
+    )
     p_b.set_defaults(func=_cmd_bench)
+
+    p_t = sub.add_parser(
+        "trace",
+        help="summarize a --trace run report or a tiled container's footer",
+    )
+    p_t.add_argument("input", help="run-report JSON or tiled container")
+    p_t.add_argument(
+        "--chrome", default=None, metavar="OUT.json",
+        help="also convert the run report to a Chrome trace-event file "
+             "(chrome://tracing / Perfetto)",
+    )
+    p_t.set_defaults(func=_cmd_trace)
 
     p_a = sub.add_parser("ablation", help="run a design-choice ablation")
     from repro.experiments.ablation import ABLATIONS

@@ -63,6 +63,7 @@ from repro.core.wavefront import (
     wavefront_decompress,
 )
 from repro.encoding.huffman import HuffmanCodec
+from repro.obs.tracer import Collector, active_collector
 from repro.perf import stage
 
 if TYPE_CHECKING:
@@ -346,7 +347,47 @@ def compress_array(
     writers — lands here.  ``config`` is an already-validated
     :class:`repro.api.SZConfig`; the tiling fields (``tile_shape``,
     ``workers``) are ignored by this whole-array path.
+
+    With a :class:`repro.obs.Collector` active, the whole run records
+    under a ``compress`` span and the run diagnostics feed the metrics
+    registry; the emitted bytes are identical either way (telemetry only
+    reads ``stats``, it never touches the encode path).
     """
+    collector = active_collector()
+    if collector is None:
+        return _compress_array_impl(data, config)
+    data = np.asarray(data)
+    with collector.span(
+        "compress",
+        mode=config.error_bound.mode,
+        dtype=str(data.dtype),
+        shape=tuple(int(s) for s in data.shape),
+        bytes=int(data.nbytes),
+    ):
+        blob, stats = _compress_array_impl(data, config)
+    _record_compress_metrics(collector, stats)
+    return blob, stats
+
+
+def _record_compress_metrics(
+    collector: Collector, stats: CompressionStats
+) -> None:
+    """Fold one run's :class:`CompressionStats` into the active metrics."""
+    collector.add("compress/calls")
+    collector.observe("compress/factor", stats.compression_factor)
+    collector.add("quantize/values", float(stats.n_values))
+    collector.add("quantize/outliers", float(stats.n_unpredictable))
+    if stats.adaptive_attempts > 1:
+        collector.add("adaptive/retries", float(stats.adaptive_attempts - 1))
+    if stats.mode == "pw_rel":
+        collector.add("pw_rel/repairs", float(stats.mode_attempts - 1))
+    elif stats.mode == "psnr":
+        collector.add("psnr/retries", float(stats.mode_attempts - 1))
+
+
+def _compress_array_impl(
+    data: np.ndarray, config: "SZConfig"
+) -> tuple[bytes, CompressionStats]:
     layers = config.layers
     interval_bits = config.interval_bits
     adaptive = config.adaptive
@@ -694,7 +735,20 @@ def decompress(blob: Any, out: Any = None) -> np.ndarray:
     ``bytearray``, ``memoryview``, ``mmap``); non-``bytes`` buffers are
     read in place, never copied.  With ``out`` the decoded values are
     written into the caller's buffer and the filled view is returned.
+
+    With a :class:`repro.obs.Collector` active the run records under a
+    ``decompress`` span; the decoded values are identical either way.
     """
+    collector = active_collector()
+    if collector is None:
+        return _decompress_impl(blob, out)
+    with collector.span("decompress", bytes=len(_as_byte_view(blob))):
+        result = _decompress_impl(blob, out)
+    collector.add("decompress/calls")
+    return result
+
+
+def _decompress_impl(blob: Any, out: Any = None) -> np.ndarray:
     blob = _as_byte_view(blob)
     with stage("lossless_unwrap", nbytes=len(blob)):
         blob = unwrap(blob)

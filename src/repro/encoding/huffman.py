@@ -32,6 +32,7 @@ from repro.encoding.bitio import (
     byte_windows64,
     pack_varlen,
 )
+from repro.obs.tracer import active_collector
 from repro.perf import stage
 
 __all__ = ["HuffmanCodec", "EncodedStream", "huffman_code_lengths"]
@@ -447,6 +448,16 @@ class HuffmanCodec:
         construction).
         """
         symbols = np.asarray(symbols, dtype=np.int64).ravel()
+        collector = active_collector()
+        if collector is not None and self.lengths.size:
+            present = self.lengths[self.lengths > 0]
+            if present.size:
+                collector.hist(
+                    "huffman/code_lengths",
+                    np.bincount(present).tolist(),
+                )
+                collector.observe("huffman/table_depth", float(self.max_len))
+                collector.observe("huffman/table_symbols", float(present.size))
         with stage("huffman_encode", nbytes=symbols.nbytes):
             if validate and symbols.size and (
                 symbols.min() < 0 or symbols.max() >= self.alphabet_size

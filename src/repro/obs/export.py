@@ -1,0 +1,233 @@
+"""Trace exports: schema-versioned run report and Chrome trace events.
+
+Two serializations of one :class:`~repro.obs.tracer.Collector`:
+
+* :func:`run_report` — the compact, schema-versioned (``repro-obs/1``)
+  JSON document the CLI ``--trace`` flag writes and CI validates with
+  :func:`validate_run_report`.  It carries the full span tree (flat list
+  with parent indices), lane attribution, and every metric.
+* :func:`chrome_trace` — the Chrome trace-event form (complete ``"X"``
+  events plus process/thread metadata), loadable in ``chrome://tracing``
+  and Perfetto.  Lanes map to trace threads, so worker processes render
+  as separate rows.
+
+:func:`summarize_run_report` renders the human-readable summary the
+``repro-sz trace`` command prints: per-name span aggregates (calls,
+total and self time) and the metrics tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.tracer import Collector
+
+__all__ = [
+    "SCHEMA",
+    "chrome_trace",
+    "run_report",
+    "summarize_run_report",
+    "validate_run_report",
+    "write_run_report",
+]
+
+SCHEMA = "repro-obs/1"
+
+_REQUIRED_TOP = (
+    "schema", "created_unix", "duration_seconds", "lanes", "spans",
+    "counters", "observations", "histograms",
+)
+_REQUIRED_SPAN = ("name", "start", "end", "parent", "lane", "attrs")
+_REQUIRED_OBS = ("count", "sum", "min", "max")
+
+
+def run_report(collector: Collector) -> dict[str, Any]:
+    """Schema-versioned JSON-safe report of everything collected."""
+    spans = [
+        {
+            "name": s.name,
+            "start": s.start,
+            "end": s.end,
+            "parent": s.parent,
+            "lane": s.lane,
+            "attrs": _json_attrs(s.attrs),
+        }
+        for s in collector.spans
+    ]
+    duration = max((s.end for s in collector.spans), default=0.0)
+    return {
+        "schema": SCHEMA,
+        "created_unix": collector.anchor,
+        "duration_seconds": duration,
+        "lanes": {str(lane): pid for lane, pid in collector.lane_pids.items()},
+        "spans": spans,
+        "counters": dict(sorted(collector.counters.items())),
+        "observations": {
+            k: dict(v) for k, v in sorted(collector.observations.items())
+        },
+        "histograms": {
+            k: list(v) for k, v in sorted(collector.histograms.items())
+        },
+    }
+
+
+def _json_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Coerce span attributes to JSON-native scalars/lists."""
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, bool, int, float)) or value is None:
+            out[key] = value
+        elif isinstance(value, (tuple, list)):
+            out[key] = [
+                v if isinstance(v, (str, bool, float)) else int(v)
+                for v in value
+            ]
+        else:
+            out[key] = str(value)
+    return out
+
+
+def write_run_report(collector: Collector, path: Any) -> dict[str, Any]:
+    """Write :func:`run_report` JSON to ``path``; returns the report."""
+    report = run_report(collector)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def validate_run_report(report: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` is a valid ``repro-obs/1``."""
+    if not isinstance(report, dict):
+        raise ValueError("obs report must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported obs schema {report.get('schema')!r}; want {SCHEMA!r}"
+        )
+    for key in _REQUIRED_TOP:
+        if key not in report:
+            raise ValueError(f"obs report missing required key {key!r}")
+    spans = report["spans"]
+    if not isinstance(spans, list):
+        raise ValueError("obs report 'spans' must be a list")
+    n = len(spans)
+    for i, span in enumerate(spans):
+        for key in _REQUIRED_SPAN:
+            if key not in span:
+                raise ValueError(f"span {i} missing required key {key!r}")
+        parent = span["parent"]
+        if not isinstance(parent, int) or not -1 <= parent < n:
+            raise ValueError(
+                f"span {i} has invalid parent {parent!r} (n={n})"
+            )
+        if parent == i:
+            raise ValueError(f"span {i} is its own parent")
+        if float(span["end"]) < float(span["start"]):
+            raise ValueError(f"span {i} ends before it starts")
+    for key, value in report["counters"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"counter {key!r} is not numeric: {value!r}")
+    for key, obs in report["observations"].items():
+        for stat in _REQUIRED_OBS:
+            if stat not in obs:
+                raise ValueError(f"observation {key!r} missing {stat!r}")
+    for key, counts in report["histograms"].items():
+        if not isinstance(counts, list) or any(
+            not isinstance(c, int) or isinstance(c, bool) for c in counts
+        ):
+            raise ValueError(f"histogram {key!r} must be a list of ints")
+
+
+def chrome_trace(source: "Collector | dict[str, Any]") -> dict[str, Any]:
+    """Chrome trace-event JSON (``chrome://tracing`` / Perfetto loadable).
+
+    ``source`` is a collector or a :func:`run_report` dict.  Spans become
+    complete (``"ph": "X"``) events with microsecond timestamps; lanes
+    become threads named after their originating process.
+    """
+    report = source if isinstance(source, dict) else run_report(source)
+    validate_run_report(report)
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for lane_str, pid in sorted(report["lanes"].items(), key=lambda kv: int(kv[0])):
+        lane = int(lane_str)
+        label = "main" if lane == 0 else f"worker-{pid}"
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": 0, "tid": lane,
+                "args": {"name": label},
+            }
+        )
+    for span in report["spans"]:
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(span["start"]) * 1e6,
+                "dur": (float(span["end"]) - float(span["start"])) * 1e6,
+                "pid": 0,
+                "tid": span["lane"],
+                "args": dict(span["attrs"]),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def summarize_run_report(report: dict[str, Any]) -> str:
+    """Human-readable summary: span aggregates + metrics tables."""
+    validate_run_report(report)
+    spans = report["spans"]
+    child_time: dict[int, float] = {}
+    for span in spans:
+        parent = span["parent"]
+        if parent >= 0:
+            child_time[parent] = child_time.get(parent, 0.0) + (
+                float(span["end"]) - float(span["start"])
+            )
+    agg: dict[str, dict[str, float]] = {}
+    for i, span in enumerate(spans):
+        total = float(span["end"]) - float(span["start"])
+        self_t = max(0.0, total - child_time.get(i, 0.0))
+        row = agg.setdefault(
+            span["name"], {"calls": 0.0, "total": 0.0, "self": 0.0}
+        )
+        row["calls"] += 1.0
+        row["total"] += total
+        row["self"] += self_t
+    lines = [
+        f"trace: {len(spans)} spans, "
+        f"{report['duration_seconds'] * 1e3:.2f} ms, "
+        f"{len(report['lanes'])} lane(s)"
+    ]
+    if agg:
+        lines.append(f"{'span':28s} {'calls':>6s} {'total ms':>10s} {'self ms':>10s}")
+        for name, row in sorted(
+            agg.items(), key=lambda kv: -kv[1]["self"]
+        ):
+            lines.append(
+                f"{name:28s} {int(row['calls']):6d} "
+                f"{row['total'] * 1e3:10.3f} {row['self'] * 1e3:10.3f}"
+            )
+    if report["counters"]:
+        lines.append("counters:")
+        for key, value in report["counters"].items():
+            lines.append(f"  {key:34s} {value:g}")
+    if report["observations"]:
+        lines.append("observations:")
+        for key, obs in report["observations"].items():
+            mean = obs["sum"] / obs["count"] if obs["count"] else 0.0
+            lines.append(
+                f"  {key:34s} n={int(obs['count'])} mean={mean:.4g} "
+                f"min={obs['min']:.4g} max={obs['max']:.4g}"
+            )
+    if report["histograms"]:
+        lines.append("histograms:")
+        for key, counts in report["histograms"].items():
+            lines.append(f"  {key:34s} {counts}")
+    return "\n".join(lines)

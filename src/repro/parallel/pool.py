@@ -12,10 +12,13 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.core import compress as sz_compress
+from repro.obs.tracer import Collector, active_collector
+from repro.perf.timer import StageTimer, active_timer
 
 __all__ = [
     "parallel_compress",
@@ -43,18 +46,63 @@ def chunk_array(data: np.ndarray, n_chunks: int) -> list[np.ndarray]:
     return [np.ascontiguousarray(c) for c in np.array_split(data, n_chunks)]
 
 
+def _telemetry_job(args):
+    """Run one item under fresh worker-local instruments.
+
+    Dispatched instead of the bare ``fn`` when the parent had a
+    :class:`~repro.perf.StageTimer` and/or :class:`~repro.obs.Collector`
+    active: context variables do not cross process boundaries, so the
+    worker activates its own and ships the collected telemetry back with
+    the result for the parent to merge.
+    """
+    fn, item, want_stages, want_obs = args
+    timer = StageTimer() if want_stages else None
+    collector = Collector() if want_obs else None
+    with timer or nullcontext(), collector or nullcontext():
+        result = fn(item)
+    return (
+        result,
+        timer.records if timer is not None else None,
+        collector.to_payload() if collector is not None else None,
+    )
+
+
 def pool_map(fn, items: list, n_workers: int | None = None) -> list:
     """``map(fn, items)`` over a process pool, order preserved.
 
     ``fn`` must be picklable (a module-level function).  With one worker
     (or one item) the map runs in-process — results are identical either
     way, so callers get deterministic output independent of worker count.
+
+    Telemetry crosses the pool: when the caller has an active
+    :class:`~repro.perf.StageTimer` or :class:`~repro.obs.Collector`,
+    each worker runs its item under fresh local instruments and returns
+    their records alongside the result; the parent merges them (stage
+    aggregates accumulate, worker spans graft under the caller's open
+    span with per-item attribution and a lane per worker process).
     """
     n_workers = n_workers or os.cpu_count() or 1
     if n_workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    timer = active_timer()
+    collector = active_collector()
+    if timer is None and collector is None:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, items))
+    jobs = [
+        (fn, item, timer is not None, collector is not None)
+        for item in items
+    ]
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, items))
+        shipped = list(pool.map(_telemetry_job, jobs))
+    results = []
+    for i, (result, records, payload) in enumerate(shipped):
+        if timer is not None and records is not None:
+            timer.merge_records(records)
+        if collector is not None and payload is not None:
+            collector.merge_payload(payload, attrs={"item": i})
+        results.append(result)
+    return results
 
 
 def _compress_worker(args) -> bytes:
@@ -79,10 +127,11 @@ def parallel_compress(
     n_workers = n_workers or os.cpu_count() or 1
     if n_workers == 1:
         return [sz_compress(c, **compress_kwargs) for c in chunks]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(
-            pool.map(_compress_worker, [(c, compress_kwargs) for c in chunks])
-        )
+    return pool_map(
+        _compress_worker,
+        [(c, compress_kwargs) for c in chunks],
+        n_workers=n_workers,
+    )
 
 
 def parallel_decompress(
@@ -92,8 +141,7 @@ def parallel_decompress(
     n_workers = n_workers or os.cpu_count() or 1
     if n_workers == 1:
         return [_decompress_worker(b) for b in blobs]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_decompress_worker, blobs))
+    return pool_map(_decompress_worker, blobs, n_workers=n_workers)
 
 
 def measure_pool_scaling(

@@ -133,12 +133,25 @@ def _run_case(
     repeats: int,
 ) -> dict[str, Any]:
     from repro.api import Codec
+    from repro.obs import Collector
 
     field = synth_field(shape, dtype, seed=len(shape))
     codec = Codec(_mode_config(mode))
-    # warm-up: plan caches, first-touch allocations
-    blob = codec.encode(field)
-    codec.decode(blob)
+    # warm-up: plan caches, first-touch allocations.  Run it under a
+    # private collector — the codec metrics (outlier counts, Huffman
+    # table shape, compression factor) are deterministic for a seeded
+    # field, so they ride along in the report without touching the
+    # timed repeats below.
+    with Collector() as obs:
+        blob = codec.encode(field)
+        codec.decode(blob)
+    obs_metrics = {
+        "counters": dict(sorted(obs.counters.items())),
+        "observations": {
+            k: dict(v) for k, v in sorted(obs.observations.items())
+        },
+        "histograms": {k: list(v) for k, v in sorted(obs.histograms.items())},
+    }
 
     c_times: list[float] = []
     d_times: list[float] = []
@@ -178,6 +191,7 @@ def _run_case(
             "mb_per_s": field.nbytes / d_sec / 1e6 if d_sec > 0 else 0.0,
             "stages": StageTimer.median_stages(d_timers),
         },
+        "obs": obs_metrics,
     }
 
 
@@ -303,13 +317,36 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated case names to run (e.g. 3d-f32-rel)",
     )
     parser.add_argument("--out", default="BENCH_micro.json")
-    args = parser.parse_args(argv)
-    report = bench_report(
-        scale=args.scale,
-        repeats=args.repeats,
-        modes=tuple(m for m in args.modes.split(",") if m),
-        only=tuple(args.only.split(",")) if args.only else None,
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record the sweep under a repro.obs Collector and write the "
+             "repro-obs/1 run report (adds tracing overhead to the "
+             "timed sections; use for profiling, not for baselines)",
     )
+    args = parser.parse_args(argv)
+    collector = None
+    if args.trace:
+        from repro.obs import Collector
+
+        collector = Collector()
+        collector.__enter__()
+    try:
+        report = bench_report(
+            scale=args.scale,
+            repeats=args.repeats,
+            modes=tuple(m for m in args.modes.split(",") if m),
+            only=tuple(args.only.split(",")) if args.only else None,
+        )
+    finally:
+        if collector is not None:
+            collector.__exit__(None, None, None)
+    if collector is not None:
+        from repro.obs import write_run_report
+
+        write_run_report(collector, args.trace)
+        print(f"trace: {len(collector.spans)} spans -> {args.trace}")
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

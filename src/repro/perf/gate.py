@@ -27,7 +27,7 @@ from typing import Any
 
 from repro.perf.bench import validate_report
 
-__all__ = ["compare_reports", "main"]
+__all__ = ["compare_reports", "stage_coverage_notes", "main"]
 
 DEFAULT_TOLERANCE = 1.5
 DEFAULT_FLOOR_SECONDS = 5e-3
@@ -123,6 +123,49 @@ def compare_reports(
     return regressions
 
 
+def stage_coverage_notes(
+    baseline: dict[str, Any], fresh: dict[str, Any]
+) -> list[str]:
+    """Human-readable notes on absent/empty per-stage data.
+
+    An empty ``stages`` map is structurally valid (a subprocess-heavy
+    case whose stage records never reached the parent looks exactly like
+    this), and the per-stage loop of :func:`compare_reports` then passes
+    vacuously — nothing to compare, nothing to flag.  These notes make
+    that state explicit so a gate run says *why* a side contributed no
+    stage checks instead of silently covering zero stages.
+    """
+    notes: list[str] = []
+    fresh_cases = {c["name"]: c for c in fresh.get("cases", [])}
+    for base_case in baseline.get("cases", []):
+        name = base_case["name"]
+        new_case = fresh_cases.get(name)
+        for side in ("compress", "decompress"):
+            base_empty = not base_case[side]["stages"]
+            new_empty = new_case is not None and not new_case[side]["stages"]
+            if base_empty and new_empty:
+                notes.append(
+                    f"{name} {side}: no stage data in baseline or fresh "
+                    "run — only end-to-end seconds were compared"
+                )
+            elif base_empty:
+                notes.append(
+                    f"{name} {side}: baseline has no stage data — "
+                    "per-stage checks skipped (re-baseline to cover them)"
+                )
+            elif new_empty:
+                notes.append(
+                    f"{name} {side}: fresh run has no stage data — "
+                    "stage instrumentation may have been lost"
+                )
+    for new_case in fresh.get("cases", []):
+        if new_case["name"] not in {c["name"] for c in baseline.get("cases", [])}:
+            notes.append(
+                f"{new_case['name']}: not in baseline — uncovered by the gate"
+            )
+    return notes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
@@ -171,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         f"perf gate: tolerance {args.tolerance:.2f}x, floor {args.floor*1e3:.1f} ms, "
         f"{cal_note}"
     )
+    for note in stage_coverage_notes(baseline, fresh):
+        print(f"perf gate: note — {note}")
     if not regressions:
         print("perf gate: OK — no stage regressed beyond tolerance")
         return 0

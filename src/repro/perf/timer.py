@@ -13,6 +13,13 @@ slash-joined path (``compress/quantize``), which keeps one flat dict per
 timer while preserving the call hierarchy — exactly the shape the bench
 report and the CI perf gate consume.
 
+The same :func:`stage` call also feeds the span tracer: when a
+:class:`repro.obs.Collector` is active, every stage is recorded as a
+span in its tree (with the byte count as an attribute), so the flat
+aggregate view and the full trace come from one instrumentation point.
+Either side may be active without the other; with neither, the hook
+remains a near-free no-op (two context-variable reads).
+
 >>> with StageTimer() as t:
 ...     with stage("outer", nbytes=8):
 ...         with stage("inner"):
@@ -24,8 +31,15 @@ report and the CI perf gate consume.
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from contextvars import ContextVar
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.tracer import _ACTIVE as _OBS_ACTIVE
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Collector
 
 __all__ = ["StageRecord", "StageTimer", "stage", "active_timer"]
 
@@ -74,23 +88,41 @@ _NULL_STAGE = _NullStage()
 
 
 class _Stage:
-    """One live stage entry; records into its owning timer on exit."""
+    """One live stage entry; records into its timer and/or collector."""
 
-    __slots__ = ("_timer", "_name", "_nbytes", "_t0")
+    __slots__ = ("_timer", "_collector", "_name", "_nbytes", "_t0", "_span")
 
-    def __init__(self, timer: "StageTimer", name: str, nbytes: int) -> None:
+    def __init__(
+        self,
+        timer: "StageTimer | None",
+        collector: "Collector | None",
+        name: str,
+        nbytes: int,
+    ) -> None:
         self._timer = timer
+        self._collector = collector
         self._name = name
         self._nbytes = nbytes
 
     def __enter__(self) -> "_Stage":
-        self._timer._stack.append(self._name)
+        if self._timer is not None:
+            self._timer._stack.append(self._name)
+        if self._collector is not None:
+            self._span = (
+                self._collector.start_span(self._name, bytes=self._nbytes)
+                if self._nbytes
+                else self._collector.start_span(self._name)
+            )
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
         dt = time.perf_counter() - self._t0
+        if self._collector is not None:
+            self._collector.end_span(self._span)
         timer = self._timer
+        if timer is None:
+            return
         path = "/".join(timer._stack)
         timer._stack.pop()
         rec = timer.records.get(path)
@@ -127,7 +159,7 @@ class StageTimer:
         _ACTIVE.reset(self._token)
 
     def stage(self, name: str, nbytes: int = 0) -> _Stage:
-        return _Stage(self, name, nbytes)
+        return _Stage(self, _OBS_ACTIVE.get(), name, nbytes)
 
     def as_dict(self) -> dict[str, dict[str, float]]:
         """Flat ``{stage path: {calls, seconds, bytes, mb_per_s}}`` map."""
@@ -135,7 +167,16 @@ class StageTimer:
 
     def merge(self, other: "StageTimer") -> None:
         """Accumulate another timer's records into this one."""
-        for path, rec in other.records.items():
+        self.merge_records(other.records)
+
+    def merge_records(self, records: Mapping[str, StageRecord]) -> None:
+        """Accumulate a ``records`` map — e.g. one a worker sent back.
+
+        This is the cross-process form of :meth:`merge`: pool workers
+        return ``timer.records`` (plain picklable dataclasses) with
+        their results, and the parent folds them in here.
+        """
+        for path, rec in records.items():
             mine = self.records.get(path)
             if mine is None:
                 mine = self.records[path] = StageRecord()
@@ -187,12 +228,16 @@ def active_timer() -> StageTimer | None:
 
 
 def stage(name: str, nbytes: int = 0) -> "_Stage | _NullStage":
-    """Record a stage on the active timer (no-op when none is active).
+    """Record a stage on the active timer and/or span collector.
 
-    ``nbytes`` is the payload size the stage processes; it feeds the
-    MB/s throughput column of the bench report.
+    A no-op (shared null context manager, nothing allocated) when
+    neither a :class:`StageTimer` nor a :class:`repro.obs.Collector`
+    is active.  ``nbytes`` is the payload size the stage processes; it
+    feeds the MB/s throughput column of the bench report and the
+    ``bytes`` attribute of the recorded span.
     """
     timer = _ACTIVE.get()
-    if timer is None:
+    collector = _OBS_ACTIVE.get()
+    if timer is None and collector is None:
         return _NULL_STAGE
-    return timer.stage(name, nbytes)
+    return _Stage(timer, collector, name, nbytes)

@@ -17,7 +17,7 @@ from repro.perf.bench import (
     synth_field,
     validate_report,
 )
-from repro.perf.gate import compare_reports
+from repro.perf.gate import compare_reports, stage_coverage_notes
 
 
 class TestStageTimer:
@@ -284,3 +284,66 @@ class TestPerfGate:
         )
         with open(path) as fh:
             validate_report(json.load(fh))
+
+
+class TestStageCoverageNotes:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _tiny_report()
+
+    def test_clean_reports_produce_no_notes(self, baseline):
+        assert stage_coverage_notes(baseline, copy.deepcopy(baseline)) == []
+
+    def test_empty_fresh_stages_noted(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["cases"][0]["compress"]["stages"] = {}
+        notes = stage_coverage_notes(baseline, fresh)
+        assert len(notes) == 1
+        assert "instrumentation may have been lost" in notes[0]
+        assert fresh["cases"][0]["name"] in notes[0]
+
+    def test_empty_baseline_stages_noted(self, baseline):
+        sparse = copy.deepcopy(baseline)
+        sparse["cases"][0]["decompress"]["stages"] = {}
+        notes = stage_coverage_notes(sparse, copy.deepcopy(baseline))
+        assert len(notes) == 1
+        assert "re-baseline" in notes[0]
+
+    def test_empty_on_both_sides_noted(self, baseline):
+        sparse = copy.deepcopy(baseline)
+        sparse["cases"][0]["compress"]["stages"] = {}
+        notes = stage_coverage_notes(sparse, copy.deepcopy(sparse))
+        assert len(notes) == 1
+        assert "only end-to-end seconds were compared" in notes[0]
+
+    def test_extra_fresh_case_noted(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        extra = copy.deepcopy(fresh["cases"][0])
+        extra["name"] = "9d-f32-new"
+        fresh["cases"].append(extra)
+        notes = stage_coverage_notes(baseline, fresh)
+        assert notes == ["9d-f32-new: not in baseline — uncovered by the gate"]
+
+    def test_notes_do_not_fail_the_gate(self, baseline):
+        # Notes are advisory: an empty stages map alone is not a
+        # regression (compare_reports handles per-stage loss itself).
+        fresh = copy.deepcopy(baseline)
+        for case in fresh["cases"]:
+            case["compress"]["stages"] = {}
+            case["decompress"]["stages"] = {}
+        sparse = copy.deepcopy(fresh)
+        assert compare_reports(sparse, fresh) == []
+        assert stage_coverage_notes(sparse, fresh) != []
+
+
+class TestBenchObsMetrics:
+    def test_cases_carry_deterministic_obs_metrics(self):
+        a = _tiny_report(only=("1d-f32-abs",))
+        b = _tiny_report(only=("1d-f32-abs",))
+        obs = a["cases"][0]["obs"]
+        assert obs["counters"]["compress/calls"] >= 1
+        assert obs["counters"]["quantize/values"] > 0
+        assert "compress/factor" in obs["observations"]
+        assert sum(obs["histograms"]["huffman/code_lengths"]) > 0
+        # seeded field -> identical telemetry across runs
+        assert obs == b["cases"][0]["obs"]

@@ -14,6 +14,7 @@ import repro.api
 
 REPRO_ALL = [
     "Codec",
+    "Collector",
     "CompressionStats",
     "ErrorBound",
     "SZ14Compressor",

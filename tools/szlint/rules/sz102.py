@@ -29,8 +29,11 @@ from tools.szlint.rules import Rule
 
 __all__ = ["SZ102"]
 
-#: path fragments marking encode/decode pipeline modules.
-SCOPE = ("repro/core/", "repro/encoding/", "repro/chunked/")
+#: path fragments marking encode/decode pipeline modules.  repro/obs/ is
+#: included because its hooks run inside those modules: a wall-clock read
+#: there would execute on the encode path (Collector injects its clocks
+#: as constructor parameters instead).
+SCOPE = ("repro/core/", "repro/encoding/", "repro/chunked/", "repro/obs/")
 
 _WALL_CLOCK = {
     "time.time",
