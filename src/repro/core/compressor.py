@@ -150,8 +150,14 @@ def _shim_config(
     )
 
 _MAX_INTERVAL_BITS = 16
-_PLAN_CACHE: OrderedDict[tuple[tuple[int, ...], int], WavefrontPlan] = OrderedDict()
+_PLAN_CACHE: OrderedDict[
+    tuple[tuple[int, ...], int, str], WavefrontPlan
+] = OrderedDict()
 _PLAN_CACHE_MAX = 32
+#: Cap on the *gather-table* memory pinned by cached plans.  Plans for
+#: large arrays carry tens of MB of precomputed index tables; the entry
+#: count alone would let the cache grow to GBs.
+_PLAN_CACHE_TABLE_BYTES_MAX = 256 * 1024 * 1024
 """LRU bound: a long-lived tiled job cycling through many (tile shape,
 layers) pairs must not grow the cache without limit; evicting the least
 recently used plan keeps the hot interior-tile shape resident."""
@@ -224,13 +230,26 @@ def _constant_ok(data: np.ndarray, mode: str) -> bool:
     return bool((bits == bits.flat[0]).all())
 
 
-def _get_plan(shape: tuple[int, ...], layers: int) -> WavefrontPlan:
-    key = (shape, layers)
+def _get_plan(
+    shape: tuple[int, ...],
+    layers: int,
+    dtype: np.dtype | type = np.float64,
+) -> WavefrontPlan:
+    # The dtype is part of the plan's identity: it decides the working
+    # array's interior dtype (float32 vs float64), so reusing a plan
+    # across dtypes would silently fall back to the float64 interior.
+    key = (shape, layers, np.dtype(dtype).str)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        plan = WavefrontPlan(shape, layers)
+        plan = WavefrontPlan(shape, layers, dtype)
         _PLAN_CACHE[key] = plan
         while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+        while (
+            len(_PLAN_CACHE) > 1
+            and sum(p.table_bytes for p in _PLAN_CACHE.values())
+            > _PLAN_CACHE_TABLE_BYTES_MAX
+        ):
             _PLAN_CACHE.popitem(last=False)
     else:
         _PLAN_CACHE.move_to_end(key)
@@ -244,15 +263,16 @@ def _quantize_adaptive(
     interval_bits: int,
     adaptive: bool,
     theta: float,
+    workers: int = 1,
 ) -> tuple[WavefrontResult, int, int]:
     """Wavefront quantization with the adaptive interval-count retry."""
-    plan = _get_plan(data.shape, layers)
+    plan = _get_plan(data.shape, layers, data.dtype)
     attempts = 0
     m = interval_bits
     while True:
         attempts += 1
         radius = interval_radius(m)
-        result = wavefront_compress(data, eb, plan, radius)
+        result = wavefront_compress(data, eb, plan, radius, workers=workers)
         if not adaptive or result.hit_rate >= theta or m >= _MAX_INTERVAL_BITS:
             break
         m = min(_MAX_INTERVAL_BITS, m + 2)
@@ -345,8 +365,10 @@ def compress_array(
     Every public entry point — :func:`compress`,
     :func:`compress_with_stats`, :class:`repro.api.Codec`, the tiled
     writers — lands here.  ``config`` is an already-validated
-    :class:`repro.api.SZConfig`; the tiling fields (``tile_shape``,
-    ``workers``) are ignored by this whole-array path.
+    :class:`repro.api.SZConfig`.  ``tile_shape`` is ignored by this
+    whole-array path; ``workers > 1`` splits the wavefront loop of large
+    multi-dimensional arrays across a process pool (byte-identical
+    output; see :mod:`repro.core.wavefront_pool`).
 
     With a :class:`repro.obs.Collector` active, the whole run records
     under a ``compress`` span and the run diagnostics feed the metrics
@@ -439,19 +461,20 @@ def _compress_array_impl(
         assert spec.pw_bound is not None  # from_args invariant for pw_rel
         blob, result, m, attempts, repairs = _compress_pw_rel(
             data, spec.pw_bound, layers, interval_bits, adaptive, theta,
-            block_size, entropy_coder, value_range,
+            block_size, entropy_coder, value_range, workers=config.workers,
         )
         eb, mode_attempts = pw_log_bound(spec.pw_bound, data.dtype), 1 + repairs
     elif spec.mode == "psnr":
         assert spec.psnr_target is not None  # from_args invariant for psnr
         blob, result, m, attempts, eb, mode_attempts = _compress_psnr(
             data, spec.psnr_target, layers, interval_bits, adaptive, theta,
-            block_size, entropy_coder, value_range,
+            block_size, entropy_coder, value_range, workers=config.workers,
         )
     else:
         eb = spec.resolve(value_range)
         result, m, attempts = _quantize_adaptive(
-            data, eb, layers, interval_bits, adaptive, theta
+            data, eb, layers, interval_bits, adaptive, theta,
+            workers=config.workers,
         )
         code_hist = np.bincount(result.codes, minlength=2 * interval_radius(m))
         blob = _emit_container(
@@ -566,12 +589,13 @@ def _compress_pw_rel(
     block_size: int,
     entropy_coder: str,
     value_range: float,
+    workers: int = 1,
 ) -> tuple[bytes, WavefrontResult, int, int, int]:
     """Pointwise-relative mode: log-precondition, quantize, verify-repair."""
     eb_log = pw_log_bound(pw_bound, data.dtype)
     logs, flags, signs = pw_precondition(data)
     result, m, attempts = _quantize_adaptive(
-        logs, eb_log, layers, interval_bits, adaptive, theta
+        logs, eb_log, layers, interval_bits, adaptive, theta, workers=workers
     )
     # result.decompressed is the exact float64 log field a decompressor
     # materializes; any value the margin analysis failed to cover is
@@ -598,6 +622,7 @@ def _compress_psnr(
     block_size: int,
     entropy_coder: str,
     value_range: float,
+    workers: int = 1,
 ) -> tuple[bytes, WavefrontResult, int, int, float, int]:
     """PSNR-targeted mode: model-derived bound, verified post-hoc.
 
@@ -622,7 +647,7 @@ def _compress_psnr(
     ]
     for mode_attempts, eb in enumerate(candidates, start=1):
         result, m, attempts = _quantize_adaptive(
-            data, eb, layers, interval_bits, adaptive, theta
+            data, eb, layers, interval_bits, adaptive, theta, workers=workers
         )
         if _psnr_of(data, result.decompressed, value_range) >= target_db:
             break
@@ -726,7 +751,7 @@ def _fill_out(result: np.ndarray, out: Any) -> np.ndarray:
     return dst
 
 
-def decompress(blob: Any, out: Any = None) -> np.ndarray:
+def decompress(blob: Any, out: Any = None, workers: int = 1) -> np.ndarray:
     """Decompress an SZ-1.4 (repro) container back to the full array.
 
     Accepts plain containers, ``lossless_post``-wrapped containers, and
@@ -735,20 +760,25 @@ def decompress(blob: Any, out: Any = None) -> np.ndarray:
     ``bytearray``, ``memoryview``, ``mmap``); non-``bytes`` buffers are
     read in place, never copied.  With ``out`` the decoded values are
     written into the caller's buffer and the filled view is returned.
+    ``workers > 1`` splits the wavefront replay of large
+    multi-dimensional arrays across a process pool (byte-identical
+    output; see :mod:`repro.core.wavefront_pool`).
 
     With a :class:`repro.obs.Collector` active the run records under a
     ``decompress`` span; the decoded values are identical either way.
     """
     collector = active_collector()
     if collector is None:
-        return _decompress_impl(blob, out)
+        return _decompress_impl(blob, out, workers)
     with collector.span("decompress", bytes=len(_as_byte_view(blob))):
-        result = _decompress_impl(blob, out)
+        result = _decompress_impl(blob, out, workers)
     collector.add("decompress/calls")
     return result
 
 
-def _decompress_impl(blob: Any, out: Any = None) -> np.ndarray:
+def _decompress_impl(
+    blob: Any, out: Any = None, workers: int = 1
+) -> np.ndarray:
     blob = _as_byte_view(blob)
     with stage("lossless_unwrap", nbytes=len(blob)):
         blob = unwrap(blob)
@@ -791,10 +821,11 @@ def _decompress_impl(blob: Any, out: Any = None) -> np.ndarray:
             unpred_recon = decode_unpredictable(
                 unpred_payload, header.unpred_count, header.eb_abs, inner_dtype
             )
-        plan = _get_plan(header.shape, header.layers)
+        plan = _get_plan(header.shape, header.layers, inner_dtype)
         radius = interval_radius(header.interval_bits)
         result = wavefront_decompress(
-            codes, unpred_recon, plan, header.eb_abs, radius, inner_dtype
+            codes, unpred_recon, plan, header.eb_abs, radius, inner_dtype,
+            workers=workers,
         )
         if header.mode == "pw_rel":
             result = pw_postcondition(

@@ -23,7 +23,12 @@ from math import comb
 
 import numpy as np
 
-__all__ = ["prediction_stencil", "predict_from_original", "layer_counts"]
+__all__ = [
+    "prediction_stencil",
+    "predict_from_original",
+    "layer_counts",
+    "unit_coeff_signs",
+]
 
 
 @lru_cache(maxsize=None)
@@ -56,6 +61,21 @@ def prediction_stencil(n: int, d: int) -> tuple[np.ndarray, np.ndarray]:
         (a constant field is predicted exactly).
     """
     return _stencil_cached(int(n), int(d))
+
+
+def unit_coeff_signs(coeffs: np.ndarray) -> np.ndarray | None:
+    """Sign pattern of an all-``±1`` stencil, or ``None``.
+
+    The ``n = 1`` (Lorenzo) stencil has coefficients that are all exactly
+    ``+1.0`` or ``-1.0`` in every dimension, which lets the wavefront
+    kernels accumulate the prediction with pure adds/subtracts instead of
+    multiply-adds.  ``c * arm`` with ``c = ±1.0`` is bitwise ``±arm``, so
+    the rewrite is exact; anything else returns ``None`` and the caller
+    keeps the general multiply-accumulate.
+    """
+    if coeffs.size and bool((np.abs(coeffs) == 1.0).all()):
+        return np.where(coeffs > 0, 1, -1).astype(np.int8)
+    return None
 
 
 def layer_counts(n: int, d: int) -> int:

@@ -26,6 +26,7 @@ __all__ = [
     "num_intervals",
     "quantize",
     "reconstruct",
+    "resolve_interior_dtype",
     "UNPREDICTABLE",
 ]
 
@@ -45,6 +46,22 @@ def interval_radius(interval_bits: int) -> int:
 def num_intervals(interval_bits: int) -> int:
     """Number of usable quantization intervals: ``2^m - 1``."""
     return (1 << interval_bits) - 1
+
+
+def resolve_interior_dtype(out_dtype: np.dtype | type) -> np.dtype:
+    """Storage dtype of the padded working array for ``out_dtype`` data.
+
+    The quantization arithmetic always runs in float64, but every value
+    *stored* into the padded array has already been rounded through the
+    output dtype (the reconstruction round-trip above, or the truncated
+    unpredictable fallback).  For float32 output those values are exact
+    float32 numbers, so storing them as float32 and upcasting on gather
+    loses nothing — the prediction sums, bound checks and quantization
+    codes are bit-identical while the working set halves.  Any other
+    dtype (notably the float64 ``pw_rel`` log domain) keeps float64.
+    """
+    dt = np.dtype(out_dtype)
+    return dt if dt == np.float32 else np.dtype(np.float64)
 
 
 def quantize(

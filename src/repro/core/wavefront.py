@@ -9,66 +9,156 @@ hyperplanes in ascending order therefore produces *bit-identical* results
 to the sequential scan, while the work inside each hyperplane is a plain
 vectorized NumPy kernel — the idiomatic way to make a data-dependent scan
 fast in pure Python (vectorize the inner loop; keep the short loop
-outside).  ``tests/test_wavefront.py`` checks equivalence against the
-scalar reference implementation point for point.
+outside).
 
-One-dimensional arrays have singleton hyperplanes, so a dedicated tight
-scalar loop handles ``d == 1``.
+Kernel-level optimizations, each pinned byte-identical by
+``tests/test_wavefront_identity.py`` against the scalar reference:
+
+* **wavefront-order storage + grouped flat-index tables** — instead of a
+  padded d-dimensional working array (which forces a fancy-index scatter
+  per plane), reconstructions live in a flat array in wavefront order
+  with one extra leading slot holding the padding zero.  Writing a
+  finished plane is then a contiguous slice store, and
+  :class:`WavefrontPlan` precomputes one contiguous ``(arms, plane)``
+  int64 gather table per hyperplane so the hot loop issues a single
+  ``take`` per plane.  The tables persist with the plan in the
+  compressor's plan cache.
+* **reduced-footprint interior** — the working array stores ``float32``
+  when :func:`repro.core.quantizer.resolve_interior_dtype` decides the
+  input dtype allows it.  Every stored value has already been rounded
+  through the output dtype, so the float32 store is exact and the
+  float64 upcast on gather reproduces the full-precision arithmetic bit
+  for bit; anything else falls back to float64.
+* **scratch-buffer reuse** — per-plane temporaries are preallocated at
+  the maximum plane size and every ufunc writes through ``out=``; the
+  accumulation *order* of the prediction sum is preserved exactly
+  (including the ``+0.0`` start that normalizes signed zeros).
+
+Large multi-dimensional arrays can additionally split each hyperplane
+across a process pool (``workers > 1``); see
+:mod:`repro.core.wavefront_pool`.  One-dimensional arrays have singleton
+hyperplanes, so a dedicated tight scalar loop handles ``d == 1``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import reduce
 
 import numpy as np
 
-from repro.core.predictor import prediction_stencil
-from repro.core.quantizer import UNPREDICTABLE
+from repro.core.predictor import prediction_stencil, unit_coeff_signs
+from repro.core.quantizer import UNPREDICTABLE, resolve_interior_dtype
 from repro.core.unpredictable import truncate_to_bound
 from repro.perf import stage
 
 __all__ = ["WavefrontPlan", "wavefront_compress", "wavefront_decompress"]
 
+#: Upper bound on precomputed gather-table memory per plan.  Beyond this
+#: the kernels rebuild each plane's indices on the fly (identical output,
+#: slightly slower) instead of pinning hundreds of MB in the plan cache.
+_TABLE_BYTES_MAX = 128 * 1024 * 1024
 
-@dataclass
+#: Minimum number of points before ``workers > 1`` actually splits the
+#: wavefront across processes; below it the serial kernel always wins.
+_SPLIT_MIN_POINTS = 1 << 21
+
+
 class WavefrontResult:
-    """Everything the container needs, plus compression diagnostics."""
+    """Everything the container needs, plus compression diagnostics.
 
-    codes: np.ndarray  # int64, wavefront order
-    unpredictable: np.ndarray  # original values, wavefront order
-    decompressed: np.ndarray  # what a decompressor will reconstruct
-    hit_rate: float
+    ``decompressed`` — the exact array a decompressor will reconstruct —
+    is materialized lazily from the wavefront-order working array: the
+    plain ``abs``/``rel`` encode path never reads it, while ``pw_rel`` /
+    ``psnr`` verification does.
+    """
+
+    __slots__ = (
+        "codes", "unpredictable", "hit_rate",
+        "_decompressed", "_dec_wf", "_plan", "_out_dtype",
+    )
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        unpredictable: np.ndarray,
+        decompressed: np.ndarray | None,
+        hit_rate: float,
+        *,
+        dec_wf: np.ndarray | None = None,
+        plan: WavefrontPlan | None = None,
+        out_dtype: np.dtype | None = None,
+    ) -> None:
+        self.codes = codes
+        self.unpredictable = unpredictable
+        self.hit_rate = hit_rate
+        self._decompressed = decompressed
+        self._dec_wf = dec_wf
+        self._plan = plan
+        self._out_dtype = out_dtype
+
+    @property
+    def decompressed(self) -> np.ndarray:
+        if self._decompressed is None:
+            self._decompressed = _wavefront_to_raster(
+                self._dec_wf, self._plan, self._out_dtype
+            )
+            self._dec_wf = None  # free the working copy
+        return self._decompressed
+
+
+def _wavefront_to_raster(
+    dec_wf: np.ndarray, plan: WavefrontPlan, out_dtype: np.dtype
+) -> np.ndarray:
+    """Scatter the wavefront-order reconstruction back to raster order."""
+    out = np.empty(plan.order.size, dtype=dec_wf.dtype)
+    out[plan.order] = dec_wf[1:]
+    return out.reshape(plan.shape).astype(out_dtype)
 
 
 class WavefrontPlan:
     """Precomputed traversal order and stencil geometry for one shape.
 
     Plans are cheap relative to compression and cacheable per
-    ``(shape, n)``; the compressor keeps a small cache.
+    ``(shape, n, dtype)`` — the dtype is part of the identity because the
+    plan fixes the working array's ``interior_dtype``; the compressor
+    keeps a small cache keyed accordingly.
     """
 
-    def __init__(self, shape: tuple[int, ...], n: int) -> None:
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        n: int,
+        dtype: np.dtype | type = np.float64,
+        *,
+        with_tables: bool = True,
+    ) -> None:
         if any(s <= 0 for s in shape):
             raise ValueError(f"degenerate shape: {shape}")
         self.shape = tuple(int(s) for s in shape)
         self.n = int(n)
         self.ndim = len(self.shape)
+        self.dtype = np.dtype(dtype)
+        self.interior_dtype = resolve_interior_dtype(self.dtype)
         offsets, coeffs = prediction_stencil(self.n, self.ndim)
         self.coeffs = coeffs
+        self.signs = unit_coeff_signs(coeffs)
         self.padded_shape = tuple(s + self.n for s in self.shape)
+        self.gather_tables: list[np.ndarray] | None = None
+        self.table_bytes = 0
         if self.ndim == 1:
             # 1-D uses the dedicated scalar kernels; no traversal tables.
             self.deltas = np.zeros(0, dtype=np.int64)
             self.order = np.arange(self.shape[0], dtype=np.int64)
-            self.groups = []
+            self.groups: list[tuple[int, int]] = []
             self.pad_flat = np.zeros(0, dtype=np.int64)
+            self.wf_pos = np.zeros(0, dtype=np.int64)
+            self.max_group = 0
             return
-        # C-order element strides of the padded array.
+        # C-order element strides of the padded index space.
         pad_strides = np.ones(self.ndim, dtype=np.int64)
         for axis in range(self.ndim - 2, -1, -1):
             pad_strides[axis] = pad_strides[axis + 1] * self.padded_shape[axis + 1]
-        # Flat-index displacement in the padded array for each stencil arm.
+        # Flat-index displacement in padded space for each stencil arm.
         self.deltas = offsets @ pad_strides
         # Traversal: stable sort of flat indices by coordinate sum.
         coord_sum = reduce(
@@ -81,12 +171,50 @@ class WavefrontPlan:
         self.groups = [
             (int(bounds[s]), int(bounds[s + 1])) for s in range(max_sum + 1)
         ]
+        self.max_group = max(e - s for s, e in self.groups)
         # Padded flat index of every point, in wavefront order.
         coords = np.unravel_index(self.order, self.shape)
-        pad_flat = np.zeros(self.order.size, dtype=np.int64)
+        n_points = self.order.size
+        pad_flat = np.zeros(n_points, dtype=np.int64)
         for axis in range(self.ndim):
             pad_flat += (coords[axis].astype(np.int64) + self.n) * pad_strides[axis]
         self.pad_flat = pad_flat
+        # Map padded flat index -> wavefront storage slot.  Slot 0 of the
+        # working array is the permanent padding zero; data points live at
+        # wavefront position + 1.
+        padded_size = 1
+        for s in self.padded_shape:
+            padded_size *= s
+        wf_pos = np.zeros(padded_size, dtype=np.int64)
+        wf_pos[pad_flat] = np.arange(1, n_points + 1, dtype=np.int64)
+        self.wf_pos = wf_pos
+        if with_tables:
+            self._build_gather_tables()
+
+    def _build_gather_tables(self) -> None:
+        """Precompute one contiguous gather table per hyperplane.
+
+        ``gather_tables[g][k, i]`` is the wavefront-storage slot of
+        stencil arm ``k`` for the ``i``-th point of hyperplane ``g`` —
+        int64 indices ``take`` consumes directly (int64 *is* the fast
+        path: smaller index dtypes get converted per call).  Skipped when
+        the tables would exceed the memory budget; the kernels then fall
+        back to :meth:`plane_table` per plane.
+        """
+        arms = int(self.deltas.size)
+        total = arms * self.pad_flat.size * 8
+        if total > _TABLE_BYTES_MAX:
+            return
+        neighbour_flat = self.pad_flat[None, :] - self.deltas[:, None]
+        slots = self.wf_pos[neighbour_flat]
+        self.gather_tables = [
+            np.ascontiguousarray(slots[:, s:e]) for s, e in self.groups
+        ]
+        self.table_bytes = total
+
+    def plane_table(self, start: int, end: int) -> np.ndarray:
+        """Gather table for one hyperplane, built on the fly (fallback)."""
+        return self.wf_pos[self.pad_flat[start:end] - self.deltas[:, None]]
 
 
 def wavefront_compress(
@@ -94,14 +222,34 @@ def wavefront_compress(
     eb: float,
     plan: WavefrontPlan,
     radius: int,
+    workers: int = 1,
 ) -> WavefrontResult:
     """Run prediction + error-controlled quantization over ``data``.
 
-    Returns codes and unpredictable originals in wavefront order, plus the
-    exact array a decompressor will reconstruct.
+    Returns codes and unpredictable originals in wavefront order, plus
+    (lazily) the exact array a decompressor will reconstruct.
+    ``workers > 1`` splits each hyperplane across a process pool for
+    large multi-dimensional arrays (byte-identical output; see
+    :mod:`repro.core.wavefront_pool`).
     """
     with stage("quantize", nbytes=data.nbytes):
+        if workers > 1 and data.ndim >= 2 and data.size >= _SPLIT_MIN_POINTS:
+            from repro.core.wavefront_pool import pool_wavefront_compress
+
+            return pool_wavefront_compress(data, eb, plan, radius, workers)
         return _wavefront_compress(data, eb, plan, radius)
+
+
+def _effective_interior(plan: WavefrontPlan, out_dtype: np.dtype) -> np.dtype:
+    """Interior dtype actually used by a kernel run.
+
+    The plan's ``interior_dtype`` applies only when the plan was built
+    for this output dtype; a mismatched plan (possible when callers
+    construct plans directly) falls back to float64, which is always
+    byte-identical.
+    """
+    want = resolve_interior_dtype(out_dtype)
+    return want if plan.interior_dtype == want else np.dtype(np.float64)
 
 
 def _wavefront_compress(
@@ -113,69 +261,133 @@ def _wavefront_compress(
     if data.ndim == 1:
         return _compress_1d(data, eb, plan.n, radius)
     out_dtype = data.dtype
-    values_orig_wf = data.reshape(-1)[plan.order]
-    values_wf = values_orig_wf.astype(np.float64)
-    padded = np.zeros(plan.padded_shape, dtype=np.float64)
-    pflat = padded.reshape(-1)
-    codes = np.zeros(values_wf.size, dtype=np.int64)
+    idt = _effective_interior(plan, out_dtype)
+    store_f32 = idt == np.float32
+    f32_out = out_dtype == np.float32
+    values_orig_wf = data.reshape(-1).take(plan.order)
+    values_wf = (
+        values_orig_wf
+        if out_dtype == np.float64
+        else values_orig_wf.astype(np.float64)
+    )
+    n_points = values_wf.size
+    dec_wf = np.zeros(n_points + 1, dtype=idt)  # slot 0: padding zero
+    # Deferred code materialization: raw quantization offsets and the
+    # predictable mask accumulate per plane; one vectorized epilogue
+    # turns them into codes (cheaper than per-plane int casts).
+    qall = np.empty(n_points, dtype=np.float64)
+    ok_all = np.empty(n_points, dtype=bool)
     unpred_chunks: list[np.ndarray] = []
-    coeffs, deltas, pad_flat = plan.coeffs, plan.deltas, plan.pad_flat
-    # Hoisted out of the per-hyperplane loop: the finite mask of the whole
-    # field (one pass instead of one per group) and the errstate guard
-    # (entering/leaving it ~200 times dominates small hyperplanes).
-    finite_wf = np.isfinite(values_wf)
-    all_finite = bool(finite_wf.all())
+    coeffs, signs, tables = plan.coeffs, plan.signs, plan.gather_tables
+    # Finiteness of the whole field in two reductions (min/max are NaN-
+    # and Inf-poisoning), avoiding the full isfinite mask when clean.
+    vmin, vmax = values_wf.min(), values_wf.max()
+    all_finite = bool(np.isfinite(vmin)) and bool(np.isfinite(vmax))
+    finite_wf = None if all_finite else np.isfinite(values_wf)
     two_eb = 2.0 * eb
     fradius = float(radius)
+    # Scratch buffers at the maximum plane size; every per-plane ufunc
+    # writes through out= into contiguous views of these.
+    msize = plan.max_group
+    pred_s = np.empty(msize, dtype=np.float64)
+    tmp_s = np.empty(msize, dtype=np.float64)
+    diff_s = np.empty(msize, dtype=np.float64)
+    mask_s = np.empty(msize, dtype=bool)
+    rc_s = np.empty(msize, dtype=np.float32) if f32_out else None
     with np.errstate(invalid="ignore", over="ignore"):
-        for start, end in plan.groups:
-            base = pad_flat[start:end]
-            x = values_wf[start:end]
-            # One fancy-index gather for all stencil arms; accumulation
-            # order matches the scalar formulation exactly (bit-identical
-            # prediction sums).
-            neighbours = pflat[base - deltas[:, None]]
-            pred = np.zeros(end - start, dtype=np.float64)
-            for k in range(len(coeffs)):
-                pred += coeffs[k] * neighbours[k]
+        for gi, (start, end) in enumerate(plan.groups):
+            m = end - start
+            tab = tables[gi] if tables is not None else plan.plane_table(start, end)
+            gathered = dec_wf.take(tab)
+            nbr = gathered.astype(np.float64) if store_f32 else gathered
+            pred = pred_s[:m]
+            pred.fill(0.0)
+            if signs is not None:
+                # All-±1 stencil (n == 1): pure adds/subtracts, starting
+                # from true zero — bit-identical to `pred += c * arm`.
+                for k in range(len(signs)):
+                    if signs[k] > 0:
+                        np.add(pred, nbr[k], out=pred)
+                    else:
+                        np.subtract(pred, nbr[k], out=pred)
+            else:
+                tmp = tmp_s[:m]
+                for k in range(len(coeffs)):
+                    np.multiply(nbr[k], coeffs[k], out=tmp)
+                    np.add(pred, tmp, out=pred)
             # Inlined error-controlled quantization (same operations, in
             # the same order, as repro.core.quantizer.quantize — kept
-            # bit-identical; see tests/test_wavefront.py).
-            diff = x - pred
-            diff /= two_eb
-            qoff = np.rint(diff)
-            within = np.abs(qoff) < fradius
-            qoff[~within] = 0.0  # avoid overflow on wild misses
-            recon = pred + qoff * two_eb
-            recon = recon.astype(out_dtype).astype(np.float64)
-            ok = within
-            if not all_finite:
-                ok &= finite_wf[start:end]
-            ok &= np.isfinite(recon)
-            ok &= np.abs(x - recon) <= eb
-            g_codes = (qoff + fradius).astype(np.int64)
-            if ok.all():
-                codes[start:end] = g_codes
+            # bit-identical; pinned by tests/test_wavefront_identity.py).
+            x = values_wf[start:end]
+            qoff = qall[start:end]
+            diff = diff_s[:m]
+            np.subtract(x, pred, out=diff)
+            np.divide(diff, two_eb, out=diff)
+            np.rint(diff, out=qoff)
+            ok = ok_all[start:end]
+            np.abs(qoff, out=diff)
+            np.less(diff, fradius, out=ok)  # ok = within the code range
+            np.multiply(qoff, two_eb, out=diff)
+            np.add(pred, diff, out=diff)  # diff = recon, pre-rounding
+            if f32_out:
+                rc = rc_s[:m]
+                rc[...] = diff  # round through the output dtype
+                recon = rc
             else:
-                miss = ~ok
-                g_codes[miss] = 0
-                codes[start:end] = g_codes
+                recon = diff  # float64 out: rounding is the identity
+            err = tmp_s[:m]
+            np.subtract(x, recon, out=err)  # f32 operand upcasts exactly
+            np.abs(err, out=err)
+            bounded = mask_s[:m]
+            np.less_equal(err, eb, out=bounded)
+            np.logical_and(ok, bounded, out=ok)
+            # |x - recon| <= eb already implies recon (and x) finite; only
+            # a field with non-finite values needs the explicit mask.
+            if finite_wf is not None:
+                np.logical_and(ok, finite_wf[start:end], out=ok)
+            if f32_out and not store_f32:
+                # Fallback (plan built for another dtype): float64 working
+                # array holding values rounded through float32.
+                recon = diff
+                recon[...] = rc
+            if not ok.all():
+                miss = mask_s[:m]
+                np.logical_not(ok, out=miss)
                 originals = values_orig_wf[start:end][miss]
                 unpred_chunks.append(originals)
-                recon[miss] = truncate_to_bound(originals, eb).astype(
-                    np.float64
-                )
-            pflat[base] = recon
+                recon[miss] = truncate_to_bound(originals, eb)
+            dec_wf[1 + start : 1 + end] = recon
 
-    unpredictable = (
-        np.concatenate(unpred_chunks)
-        if unpred_chunks
-        else np.zeros(0, dtype=out_dtype)
+    codes, unpredictable = _materialize_codes(
+        qall, ok_all, unpred_chunks, fradius, out_dtype
     )
-    interior = tuple(slice(plan.n, None) for _ in range(data.ndim))
-    decompressed = padded[interior].astype(out_dtype)
-    hit_rate = 1.0 - unpredictable.size / max(1, data.size)
-    return WavefrontResult(codes, unpredictable, decompressed, hit_rate)
+    hit_rate = 1.0 - unpredictable.size / max(1, n_points)
+    return WavefrontResult(
+        codes, unpredictable, None, hit_rate,
+        dec_wf=dec_wf, plan=plan, out_dtype=out_dtype,
+    )
+
+
+def _materialize_codes(
+    qall: np.ndarray,
+    ok_all: np.ndarray,
+    unpred_chunks: list[np.ndarray],
+    fradius: float,
+    out_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Turn accumulated offsets + predictable mask into final codes."""
+    if unpred_chunks:
+        miss_all = np.logical_not(ok_all)
+        # Wild offsets (outside the code range) sit at miss positions;
+        # zero them before the int cast to avoid undefined conversions.
+        np.copyto(qall, 0.0, where=miss_all)
+        codes = np.add(qall, fradius, out=qall).astype(np.int64)
+        codes[miss_all] = UNPREDICTABLE
+        unpredictable = np.concatenate(unpred_chunks)
+    else:
+        codes = np.add(qall, fradius, out=qall).astype(np.int64)
+        unpredictable = np.zeros(0, dtype=out_dtype)
+    return codes, unpredictable
 
 
 def wavefront_decompress(
@@ -185,12 +397,19 @@ def wavefront_decompress(
     eb: float,
     radius: int,
     out_dtype: np.dtype,
+    workers: int = 1,
 ) -> np.ndarray:
     """Replay prediction from codes; inverse of :func:`wavefront_compress`."""
     n_out = 1
     for s in plan.shape:
         n_out *= s
     with stage("dequantize", nbytes=n_out * np.dtype(out_dtype).itemsize):
+        if workers > 1 and len(plan.shape) >= 2 and n_out >= _SPLIT_MIN_POINTS:
+            from repro.core.wavefront_pool import pool_wavefront_decompress
+
+            return pool_wavefront_decompress(
+                codes, unpred_recon, plan, eb, radius, out_dtype, workers
+            )
         return _wavefront_decompress(
             codes, unpred_recon, plan, eb, radius, out_dtype
         )
@@ -208,36 +427,73 @@ def _wavefront_decompress(
         return _decompress_1d(
             codes, unpred_recon, plan.shape[0], plan.n, eb, radius, out_dtype
         )
-    padded = np.zeros(plan.padded_shape, dtype=np.float64)
-    pflat = padded.reshape(-1)
-    coeffs, deltas, pad_flat = plan.coeffs, plan.deltas, plan.pad_flat
-    unpred_recon64 = unpred_recon.astype(np.float64)
+    out_dtype = np.dtype(out_dtype)
+    idt = _effective_interior(plan, out_dtype)
+    store_f32 = idt == np.float32
+    f32_out = out_dtype == np.float32
+    n_points = plan.order.size
+    dec_wf = np.zeros(n_points + 1, dtype=idt)
+    coeffs, signs, tables = plan.coeffs, plan.signs, plan.gather_tables
+    miss_all = codes == UNPREDICTABLE
+    total_miss = int(miss_all.sum(dtype=np.int64))
+    unpred_vals = (
+        unpred_recon
+        if unpred_recon.dtype == idt
+        else unpred_recon.astype(idt)
+    )
     upos = 0
     two_eb = 2.0 * eb
-    for start, end in plan.groups:
-        base = pad_flat[start:end]
-        g_codes = codes[start:end]
-        # Single gather + ordered accumulation: bit-identical to the
-        # per-arm formulation (and to the compressor's prediction chain).
-        neighbours = pflat[base - deltas[:, None]]
-        pred = np.zeros(end - start, dtype=np.float64)
-        for k in range(len(coeffs)):
-            pred += coeffs[k] * neighbours[k]
-        qoff = g_codes.astype(np.float64) - radius
-        recon = (pred + qoff * two_eb).astype(out_dtype).astype(np.float64)
-        miss = g_codes == UNPREDICTABLE
-        nmiss = int(miss.sum(dtype=np.int64))
-        if nmiss:
-            recon[miss] = unpred_recon64[upos : upos + nmiss]
-            upos += nmiss
-        pflat[base] = recon
+    fradius = float(radius)
+    msize = plan.max_group
+    pred_s = np.empty(msize, dtype=np.float64)
+    tmp_s = np.empty(msize, dtype=np.float64)
+    work_s = np.empty(msize, dtype=np.float64)
+    rc_s = np.empty(msize, dtype=np.float32) if f32_out else None
+    for gi, (start, end) in enumerate(plan.groups):
+        m = end - start
+        tab = tables[gi] if tables is not None else plan.plane_table(start, end)
+        gathered = dec_wf.take(tab)
+        nbr = gathered.astype(np.float64) if store_f32 else gathered
+        pred = pred_s[:m]
+        pred.fill(0.0)
+        if signs is not None:
+            for k in range(len(signs)):
+                if signs[k] > 0:
+                    np.add(pred, nbr[k], out=pred)
+                else:
+                    np.subtract(pred, nbr[k], out=pred)
+        else:
+            tmp = tmp_s[:m]
+            for k in range(len(coeffs)):
+                np.multiply(nbr[k], coeffs[k], out=tmp)
+                np.add(pred, tmp, out=pred)
+        work = work_s[:m]
+        work[...] = codes[start:end]  # int64 -> float64 cast
+        np.subtract(work, fradius, out=work)
+        np.multiply(work, two_eb, out=work)
+        np.add(pred, work, out=work)  # work = recon, pre-rounding
+        if f32_out:
+            rc = rc_s[:m]
+            rc[...] = work  # round through the output dtype
+            recon = rc
+        else:
+            recon = work
+        if f32_out and not store_f32:
+            recon = work
+            recon[...] = rc
+        if total_miss:
+            mask = miss_all[start:end]
+            nmiss = int(mask.sum(dtype=np.int64))
+            if nmiss:
+                recon[mask] = unpred_vals[upos : upos + nmiss]
+                upos += nmiss
+        dec_wf[1 + start : 1 + end] = recon
     if upos != unpred_recon.size:
         raise ValueError(
             "corrupt stream: unpredictable-value count mismatch "
             f"({upos} consumed, {unpred_recon.size} stored)"
         )
-    interior = tuple(slice(plan.n, None) for _ in range(len(plan.shape)))
-    return padded[interior].astype(out_dtype)
+    return _wavefront_to_raster(dec_wf, plan, out_dtype)
 
 
 def _compress_1d(

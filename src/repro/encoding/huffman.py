@@ -477,7 +477,8 @@ class HuffmanCodec:
             nblocks = 0 if symbols.size == 0 else -(-symbols.size // block_size)
             if nblocks:
                 block_bits = np.add.reduceat(
-                    lens, np.arange(0, symbols.size, block_size)
+                    lens, np.arange(0, symbols.size, block_size),
+                    dtype=np.int64,
                 ).astype(np.uint64)
             else:
                 block_bits = np.zeros(0, dtype=np.uint64)

@@ -187,7 +187,7 @@ def archive_info(archive: bytes) -> list[dict]:
     rows = []
     for entry in read_manifest(archive):
         info = container_info_any(_entry_blob(archive, entry))
-        n_values = int(np.prod(info["shape"])) if info["shape"] else 0
+        n_values = int(np.prod(info["shape"], dtype=np.int64)) if info["shape"] else 0
         itemsize = np.dtype(info["dtype"]).itemsize
         rows.append(
             {

@@ -73,12 +73,12 @@ def synth_field(shape: tuple[int, ...], dtype: str, seed: int = 0) -> np.ndarray
     return field.astype(_DTYPES[dtype])
 
 
-def _mode_config(mode: str) -> "SZConfig":
+def _mode_config(mode: str, workers: int = 1) -> "SZConfig":
     """The :class:`repro.api.SZConfig` realizing one sweep mode."""
     from repro.api import SZConfig
 
     bound = {"abs": 1e-3, "rel": 1e-4, "pw_rel": 1e-3, "psnr": 84.0}[mode]
-    return SZConfig.from_kwargs(mode=mode, bound=bound)
+    return SZConfig.from_kwargs(mode=mode, bound=bound, workers=workers)
 
 
 def calibrate(repeats: int = 5) -> float:
@@ -131,12 +131,13 @@ def _run_case(
     shape: tuple[int, ...],
     mode: str,
     repeats: int,
+    workers: int = 1,
 ) -> dict[str, Any]:
     from repro.api import Codec
     from repro.obs import Collector
 
     field = synth_field(shape, dtype, seed=len(shape))
-    codec = Codec(_mode_config(mode))
+    codec = Codec(_mode_config(mode, workers=workers))
     # warm-up: plan caches, first-touch allocations.  Run it under a
     # private collector — the codec metrics (outlier counts, Huffman
     # table shape, compression factor) are deterministic for a seeded
@@ -202,6 +203,7 @@ def bench_report(
     dtypes: tuple[str, ...] = ("float32", "float64"),
     dims: tuple[int, ...] = (1, 2, 3),
     only: tuple[str, ...] | None = None,
+    workers: int = 1,
 ) -> dict[str, Any]:
     """Run the sweep and return the report dict (see :data:`SCHEMA`)."""
     if scale not in SCALES:
@@ -211,6 +213,8 @@ def bench_report(
             raise ValueError(f"unknown mode {m!r}; choose from {_ALL_MODES}")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     cases: list[dict[str, Any]] = []
     for dtype in dtypes:
         for ndim in dims:
@@ -219,7 +223,9 @@ def bench_report(
                 if only is not None and name not in only:
                     continue
                 shape = SCALES[scale][ndim]
-                cases.append(_run_case(name, dtype, shape, mode, repeats))
+                cases.append(
+                    _run_case(name, dtype, shape, mode, repeats, workers)
+                )
     report: dict[str, Any] = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -318,6 +324,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", default="BENCH_micro.json")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="wavefront pool width; >1 enables the multi-process "
+             "hyperplane split on arrays above the size gate",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="OUT.json",
@@ -338,6 +351,7 @@ def main(argv: list[str] | None = None) -> int:
             repeats=args.repeats,
             modes=tuple(m for m in args.modes.split(",") if m),
             only=tuple(args.only.split(",")) if args.only else None,
+            workers=args.workers,
         )
     finally:
         if collector is not None:

@@ -13,3 +13,12 @@ def encode_block(values: np.ndarray) -> int:
     for item in {1, 2, 3}:
         total += item
     return int(total + seed + jitter + id(values))
+
+
+def build_group_tables(plane_sizes: np.ndarray) -> np.ndarray:
+    # Grouped-index table builder: the accumulator dtype decides where
+    # every hyperplane's slice starts, so intp would drift per-platform.
+    starts = np.cumsum(plane_sizes)
+    total = np.add.reduce(plane_sizes)
+    widths = np.multiply.accumulate(plane_sizes)
+    return starts[starts + widths < total]

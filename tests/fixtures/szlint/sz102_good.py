@@ -13,3 +13,12 @@ def encode_block(values: np.ndarray, keys: set) -> int:
         total += key
     _ = time.perf_counter() - t0
     return total
+
+
+def build_group_tables(plane_sizes: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    starts = np.cumsum(plane_sizes, dtype=np.int64)
+    total = np.add.reduce(plane_sizes, dtype=np.int64)
+    # Dtype-preserving ufuncs never widen, so no accumulator to pin.
+    flags = np.bitwise_or.reduceat(bits, starts[:-1])
+    peaks = np.maximum.accumulate(plane_sizes)
+    return starts[(starts < total) & (peaks > 0)] + flags.size

@@ -1,0 +1,105 @@
+"""Shared hypothesis strategies for the differential test harnesses.
+
+The identity suites (``test_wavefront_identity.py`` and friends) all
+need the same inputs: adversarially shaped float arrays whose content
+mixes smooth signal, spikes that force unpredictable codes, and
+(optionally) non-finite values.  Drawing a seed and synthesizing with
+NumPy keeps example generation fast and shrinkable — hypothesis shrinks
+toward smaller shapes and seed 0, which is exactly the debugging order
+you want for a kernel mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+__all__ = [
+    "ADVERSARIAL_SHAPES",
+    "adversarial_shapes",
+    "error_bounds",
+    "float_dtypes",
+    "wavefront_arrays",
+]
+
+#: Curated shapes that stress the grouped wavefront dispatch: prime-length
+#: axes (maximally uneven hyperplane sizes), 1-wide slabs (degenerate
+#: leading/trailing axes), shapes where every hyperplane is a single
+#: point, and the scalar 1-D kernel.
+ADVERSARIAL_SHAPES: tuple[tuple[int, ...], ...] = (
+    (7, 11),
+    (5, 7, 3),
+    (13, 2),
+    (1, 17),
+    (9, 1, 4),
+    (1, 1, 23),
+    (6, 1, 1),
+    (2, 2, 2),
+    (37,),
+    (1,),
+)
+
+
+def adversarial_shapes(max_points: int = 512) -> st.SearchStrategy:
+    """Curated edge-case shapes plus randomly drawn small shapes."""
+    curated = st.sampled_from(
+        [s for s in ADVERSARIAL_SHAPES if int(np.prod(s)) <= max_points]
+    )
+    drawn = (
+        st.integers(min_value=1, max_value=3)
+        .flatmap(
+            lambda nd: st.lists(
+                st.integers(min_value=1, max_value=13),
+                min_size=nd,
+                max_size=nd,
+            )
+        )
+        .map(tuple)
+        .filter(lambda s: int(np.prod(s)) <= max_points)
+    )
+    return st.one_of(curated, drawn)
+
+
+def float_dtypes() -> st.SearchStrategy:
+    return st.sampled_from([np.float32, np.float64])
+
+
+def error_bounds() -> st.SearchStrategy:
+    """Absolute bounds spanning loose to ulp-stressing tight."""
+    return st.sampled_from([1e-1, 1e-2, 1e-3, 1e-5])
+
+
+@st.composite
+def wavefront_arrays(
+    draw,
+    max_points: int = 512,
+    allow_nonfinite: bool = True,
+):
+    """An adversarial float array plus the knobs the kernels take.
+
+    Returns ``(data, eb, layers, interval_bits)``.  The array mixes a
+    smooth cumulative-sum field with occasional large spikes (forcing
+    unpredictable codes) and — when ``allow_nonfinite`` — occasional
+    NaN/Inf contamination, so every branch of the kernels is reachable.
+    """
+    shape = draw(adversarial_shapes(max_points))
+    dtype = draw(float_dtypes())
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    spikes = draw(st.booleans())
+    nonfinite = allow_nonfinite and draw(
+        st.sampled_from([None, np.nan, np.inf, -np.inf])
+    )
+    eb = draw(error_bounds())
+    layers = draw(st.sampled_from([1, 1, 1, 2]))  # n=1 is the hot path
+    interval_bits = draw(st.sampled_from([4, 8]))
+    rng = np.random.default_rng(seed)
+    data = np.cumsum(
+        rng.normal(0.0, 0.25, int(np.prod(shape)))
+    ).reshape(shape)
+    if spikes and data.size > 1:
+        k = max(1, data.size // 16)
+        idx = rng.choice(data.size, size=k, replace=False)
+        data.reshape(-1)[idx] += rng.choice([-1.0, 1.0], size=k) * 1e4
+    if nonfinite is not None and data.size > 2:
+        data.reshape(-1)[rng.integers(0, data.size)] = nonfinite
+    return data.astype(dtype), eb, layers, interval_bits

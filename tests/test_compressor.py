@@ -224,8 +224,10 @@ class TestPlanCache:
             comp._get_plan((4 + n, 3), 1)
             assert len(comp._PLAN_CACHE) <= comp._PLAN_CACHE_MAX
         # the most recent shape survived, the oldest was evicted
-        assert ((4 + comp._PLAN_CACHE_MAX + 19, 3), 1) in comp._PLAN_CACHE
-        assert ((4, 3), 1) not in comp._PLAN_CACHE
+        # (cache keys carry the interior dtype since the stale-plan fix)
+        f8 = np.dtype(np.float64).str
+        assert ((4 + comp._PLAN_CACHE_MAX + 19, 3), 1, f8) in comp._PLAN_CACHE
+        assert ((4, 3), 1, f8) not in comp._PLAN_CACHE
 
     def test_lru_recency(self):
         from repro.core import compressor as comp
@@ -236,7 +238,7 @@ class TestPlanCache:
             comp._get_plan((100 + n, 2), 1)
         comp._get_plan((5, 5), 1)  # refresh: now most-recent
         comp._get_plan((999, 2), 1)  # evicts the LRU, not (5, 5)
-        assert ((5, 5), 1) in comp._PLAN_CACHE
+        assert ((5, 5), 1, np.dtype(np.float64).str) in comp._PLAN_CACHE
         comp._PLAN_CACHE.clear()
 
     def test_cached_plan_reused(self):

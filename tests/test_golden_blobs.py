@@ -146,6 +146,42 @@ class TestModedGolden:
         assert blob == _blob("v3_tiled_pwrel_1e-3.szt")
 
 
+class TestGroupedDispatchEdgeGolden:
+    """Shapes that stress the grouped wavefront dispatch.
+
+    These fixtures were generated before the grouped-index-table kernel
+    landed; they pin the shapes where batching is most likely to go
+    wrong: prime-length axes (uneven hyperplane sizes), a shape where
+    every hyperplane is a single point, the scalar 1-D kernel, and a
+    1-wide slab (degenerate leading axis).
+    """
+
+    CASES = [
+        ("edge_prime_f32", "edge_prime_f32.npy", {"mode": "rel", "bound": 1e-4}),
+        ("edge_singleton_f32", "edge_singleton_f32.npy", {"mode": "abs", "bound": 1e-3}),
+        ("edge_1d_f64", "edge_1d_f64.npy", {"mode": "abs", "bound": 1e-6}),
+        ("edge_slab_f32", "edge_slab_f32.npy", {"mode": "abs", "bound": 1e-3}),
+    ]
+
+    @pytest.mark.parametrize("name,src,kw", CASES, ids=[c[0] for c in CASES])
+    def test_decodes_bit_exact(self, name, src, kw):
+        out = decompress(_blob(f"{name}.sz"))
+        expected = _decoded(name)
+        assert out.dtype == expected.dtype and out.shape == expected.shape
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("name,src,kw", CASES, ids=[c[0] for c in CASES])
+    def test_recompress_byte_identical(self, name, src, kw):
+        arr = np.load(GOLDEN / src)
+        assert compress(arr, **kw) == _blob(f"{name}.sz")
+
+    @pytest.mark.parametrize("name,src,kw", CASES, ids=[c[0] for c in CASES])
+    def test_bound_still_holds(self, name, src, kw):
+        arr = np.load(GOLDEN / src)
+        out = decompress(_blob(f"{name}.sz"))
+        assert verify_bound(arr, out, kw["mode"], kw["bound"])["ok"]
+
+
 class TestModedCorruption:
     """Mode-tagged containers keep the clean ValueError failure contract."""
 

@@ -69,6 +69,9 @@ def test_sz102_covers_each_nondeterminism_class() -> None:
     messages = " | ".join(d.message for d in result.diagnostics)
     for fragment in ("random", "wall-clock", "reduction", "set", "id()"):
         assert fragment in messages, fragment
+    # Ufunc-method spellings are their own diagnostic class.
+    assert "`add.reduce` ufunc reduction" in messages
+    assert "`multiply.accumulate` ufunc reduction" in messages
 
 
 def test_sz103_names_the_shim_callee() -> None:

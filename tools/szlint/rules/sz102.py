@@ -16,7 +16,11 @@ promise:
 * dtype-unspecified NumPy reductions (``sum``/``cumsum``/``prod``
   without ``dtype=`` or ``out=``) — the default accumulator is the
   platform ``intp``, so a 32-bit host rounds differently and entropy
-  cost models may pick different parameters.
+  cost models may pick different parameters.  The ufunc-method
+  spellings of the same reductions (``np.add.reduce``/``reduceat``/
+  ``accumulate``, and ``np.multiply.*``) carry the same accumulator
+  hazard and are flagged identically; dtype-preserving ufuncs
+  (``bitwise_or``, ``maximum``, ...) are exempt — they never widen.
 """
 
 from __future__ import annotations
@@ -33,7 +37,16 @@ __all__ = ["SZ102"]
 #: included because its hooks run inside those modules: a wall-clock read
 #: there would execute on the encode path (Collector injects its clocks
 #: as constructor parameters instead).
-SCOPE = ("repro/core/", "repro/encoding/", "repro/chunked/", "repro/obs/")
+#: repro/parallel/ joined the scope when the wavefront pool split landed:
+#: its workers execute the same quantization arithmetic as the serial
+#: kernels, so the determinism contract extends to them unchanged.
+SCOPE = (
+    "repro/core/",
+    "repro/encoding/",
+    "repro/chunked/",
+    "repro/obs/",
+    "repro/parallel/",
+)
 
 _WALL_CLOCK = {
     "time.time",
@@ -44,6 +57,12 @@ _WALL_CLOCK = {
     "datetime.datetime.utcnow",
 }
 _REDUCTIONS = {"sum", "cumsum", "prod"}
+#: ufunc methods that reduce with a (possibly widening) accumulator.
+_UFUNC_REDUCTION_METHODS = {"reduce", "reduceat", "accumulate"}
+#: ufuncs whose reductions widen integer inputs to the platform ``intp``
+#: by default.  Dtype-preserving ufuncs (bitwise_or, maximum, minimum,
+#: logical_*) keep the input dtype and are deterministic as-is.
+_ACCUMULATING_UFUNCS = {"add", "multiply"}
 _HASH_EXEMPT_DEFS = {"__hash__", "__eq__"}
 
 
@@ -141,4 +160,21 @@ class SZ102(Rule):
                         f"dtype-unspecified `{name}` reduction (platform-"
                         "dependent accumulator); pass dtype= or out=",
                     )
+            elif name in _UFUNC_REDUCTION_METHODS:
+                # `np.add.reduce(x)` / `np.multiply.accumulate(x)`: same
+                # intp-accumulator hazard as `sum`/`prod`, different
+                # spelling.  The ufunc is the second-to-last component.
+                parts = dotted.split(".")
+                if (
+                    len(parts) >= 2
+                    and parts[-2] in _ACCUMULATING_UFUNCS
+                ):
+                    kwargs = {kw.arg for kw in node.keywords}
+                    if "dtype" not in kwargs and "out" not in kwargs:
+                        diag(
+                            node,
+                            f"dtype-unspecified `{parts[-2]}.{name}` ufunc "
+                            "reduction (platform-dependent accumulator); "
+                            "pass dtype= or out=",
+                        )
         return out
