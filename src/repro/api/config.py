@@ -30,10 +30,10 @@ from typing import Any
 
 from repro.core.adaptive import DEFAULT_THETA
 from repro.core.bounds import ErrorBound
+from repro.encoding.coders import DEFAULT_ENTROPY_CODER, available_coders
 
 __all__ = ["SZConfig"]
 
-_ENTROPY_CODERS = ("huffman", "arithmetic")
 _MAX_INTERVAL_BITS = 16  # adaptive retry ceiling; mirrors the compressor
 
 
@@ -116,7 +116,7 @@ class SZConfig:
     adaptive: bool = False
     theta: float = DEFAULT_THETA
     block_size: int = 4096
-    entropy_coder: str = "huffman"
+    entropy_coder: str = DEFAULT_ENTROPY_CODER
     lossless_post: bool = False
     tile_shape: int | tuple[int, ...] | None = field(default=None)
     workers: int = 1
@@ -145,10 +145,10 @@ class SZConfig:
             raise ValueError(
                 f"block_size must be >= 1, got {self.block_size}"
             )
-        if self.entropy_coder not in _ENTROPY_CODERS:
+        if self.entropy_coder not in available_coders():
             raise ValueError(
                 f"unknown entropy coder {self.entropy_coder!r}; "
-                f"use one of {_ENTROPY_CODERS}"
+                f"use one of {available_coders()}"
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")

@@ -14,6 +14,8 @@ import os
 from pathlib import Path
 from typing import IO, Any
 
+from repro.obs.tracer import active_collector
+
 __all__ = ["ByteAccountant", "ByteSource", "open_source"]
 
 
@@ -81,6 +83,10 @@ class ByteSource:
             )
         if self.accountant is not None:
             self.accountant.record(offset, length)
+        collector = active_collector()
+        if collector is not None:
+            collector.add("tiled/reads")
+            collector.add("tiled/bytes_read", float(length))
         if self._buf is not None:
             return self._buf[offset : offset + length]
         assert self._fh is not None  # __init__ sets exactly one of buf/fh

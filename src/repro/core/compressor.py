@@ -49,7 +49,6 @@ from repro.core.bounds import (
 from repro.core.lossless_post import unwrap, wrap
 from repro.core.quantizer import interval_radius, num_intervals
 from repro.core.stream import (
-    FLAG_ARITHMETIC,
     FLAG_CONSTANT,
     Header,
     read_container,
@@ -62,7 +61,12 @@ from repro.core.wavefront import (
     wavefront_compress,
     wavefront_decompress,
 )
-from repro.encoding.huffman import HuffmanCodec
+from repro.encoding.coders import (
+    DEFAULT_ENTROPY_CODER,
+    EntropyPayload,
+    coder_for_flags,
+    get_entropy_coder,
+)
 from repro.obs.tracer import Collector, active_collector
 from repro.perf import stage
 
@@ -108,7 +112,7 @@ def _reject_config_conflicts(
         and mode is None and bound is None
         and layers == 1 and interval_bits == 8
         and adaptive is False and theta == DEFAULT_THETA
-        and block_size == 4096 and entropy_coder == "huffman"
+        and block_size == 4096 and entropy_coder == DEFAULT_ENTROPY_CODER
         and lossless_post is False
     )
     if not defaults:
@@ -303,45 +307,25 @@ def _emit_container(
     (``np.bincount`` over the full alphabet) — callers that also need it
     for diagnostics pass it in so the pass over the codes runs once.
     """
-    alphabet = 2 * interval_radius(m)  # codes 0 .. 2^m - 1
     with stage("unpredictable", nbytes=result.unpredictable.nbytes):
         unpred_payload, _ = encode_unpredictable(result.unpredictable, eb)
-    if entropy_coder == "arithmetic":
-        from repro.encoding.arithmetic import encode_symbols
-        from repro.encoding.rice import zigzag
-
-        header = Header(
-            header_dtype, shape, m, layers, eb, value_range,
-            result.unpredictable.size, flags=FLAG_ARITHMETIC,
-            mode=mode, mode_param=mode_param, side_payload=side_payload,
-        )
-        # Re-center so the dominant code (the interval center) maps to the
-        # cheapest symbol: 0 = unpredictable, 1 = exact hit, then outward.
-        radius = interval_radius(m)
-        with stage("entropy", nbytes=result.codes.nbytes):
-            mapped = np.where(
-                result.codes == 0,
-                0,
-                zigzag(result.codes - radius).astype(np.int64) + 1,
-            )
-            arith = encode_symbols(mapped, max_bits=m + 2)
-        return write_container(header, None, None, unpred_payload,
-                               arith_payload=arith)
+    coder = get_entropy_coder(entropy_coder)
     with stage("entropy", nbytes=result.codes.nbytes):
-        if code_hist is None:
-            code_hist = np.bincount(result.codes, minlength=alphabet)
-        codec = HuffmanCodec.from_frequencies(code_hist)
-        # The codec was built from these very codes, so the range /
-        # zero-frequency validation scans are redundant here.
-        stream = codec.encode(
-            result.codes, block_size=block_size, validate=False
+        payload = coder.encode(
+            result.codes,
+            interval_bits=m,
+            block_size=block_size,
+            code_hist=code_hist,
         )
     header = Header(
         header_dtype, shape, m, layers, eb, value_range,
-        result.unpredictable.size,
+        result.unpredictable.size, flags=payload.flags,
         mode=mode, mode_param=mode_param, side_payload=side_payload,
     )
-    return write_container(header, codec, stream, unpred_payload)
+    return write_container(
+        header, payload.codec, payload.stream, unpred_payload,
+        arith_payload=payload.raw,
+    )
 
 
 def _psnr_of(data: np.ndarray, recon: np.ndarray, value_range: float) -> float:
@@ -793,26 +777,23 @@ def _decompress_impl(
         np.dtype(np.float64) if header.mode == "pw_rel" else header.dtype
     )
     try:
-        if header.is_arithmetic:
-            from repro.encoding.arithmetic import decode_symbols
-            from repro.encoding.rice import unzigzag
-
-            with stage("entropy", nbytes=len(arith)):
-                mapped = decode_symbols(
-                    arith, expected, max_bits=header.interval_bits + 2
-                )
-                radius = interval_radius(header.interval_bits)
-                codes = np.where(
-                    mapped == 0,
-                    0,
-                    unzigzag((mapped - 1).astype(np.uint64)) + radius,
-                )
-        else:
-            # read_container returns a codec+stream pair for every
-            # non-constant, non-arithmetic container.
-            assert codec is not None and stream is not None
-            with stage("entropy", nbytes=int(stream.payload.nbytes)):
-                codes = codec.decode(stream)
+        # read_container returns a codec+stream pair (or an opaque
+        # payload) for every non-constant container; the header flag
+        # bits select the registered coder that parses it.
+        coder = coder_for_flags(header.flags)
+        payload = EntropyPayload(
+            coder.coder_id, header.flags,
+            codec=codec, stream=stream, raw=arith,
+        )
+        nbytes = (
+            int(stream.payload.nbytes) if stream is not None
+            else len(arith or b"")
+        )
+        with stage("entropy", nbytes=nbytes):
+            codes = coder.decode(
+                payload, expected=expected,
+                interval_bits=header.interval_bits,
+            )
         if codes.size != expected:
             raise ValueError(
                 f"corrupt container: {codes.size} codes for {expected} points"
@@ -861,7 +842,7 @@ def container_info(blob: Any) -> dict[str, Any]:
         "interval_bits": header.interval_bits,
         "n_unpredictable": header.unpred_count,
         "constant": header.is_constant,
-        "entropy_coder": "arithmetic" if header.is_arithmetic else "huffman",
+        "entropy_coder": coder_for_flags(header.flags).coder_id,
         "lossless_post": wrapped,
         "compressed_bytes": len(blob),
     }

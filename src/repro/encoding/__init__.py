@@ -11,6 +11,11 @@ ragged
 huffman
     Canonical Huffman coding for arbitrary alphabet sizes (the paper's
     tailored variable-length encoder, Section IV-A).
+coders
+    The :class:`EntropyCoder` protocol and the coder registry the
+    compressor's entropy stage dispatches through
+    (``get_entropy_coder`` / ``register_entropy_coder`` /
+    ``available_coders``).
 rice
     Golomb-Rice coding for non-negative integers.
 lz77
@@ -25,19 +30,37 @@ from repro.encoding.bitio import (
     BitWriter,
     ScalarBitWriter,
     byte_windows64,
+    gather_windows64,
     pack_varlen,
     read_bits_at,
     unpack_varlen,
+)
+from repro.encoding.coders import (
+    DEFAULT_ENTROPY_CODER,
+    EntropyCoder,
+    EntropyPayload,
+    available_coders,
+    coder_for_flags,
+    get_entropy_coder,
+    register_entropy_coder,
 )
 from repro.encoding.huffman import HuffmanCodec
 
 __all__ = [
     "BitReader",
     "BitWriter",
+    "DEFAULT_ENTROPY_CODER",
+    "EntropyCoder",
+    "EntropyPayload",
     "HuffmanCodec",
     "ScalarBitWriter",
+    "available_coders",
     "byte_windows64",
+    "coder_for_flags",
+    "gather_windows64",
+    "get_entropy_coder",
     "pack_varlen",
     "read_bits_at",
+    "register_entropy_coder",
     "unpack_varlen",
 ]

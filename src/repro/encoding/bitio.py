@@ -36,6 +36,7 @@ __all__ = [
     "bits_to_bytes",
     "bytes_to_bits",
     "byte_windows64",
+    "gather_windows64",
 ]
 
 _MAX_FIELD_BITS = 57
@@ -292,6 +293,25 @@ def byte_windows64(buf: bytes | np.ndarray) -> np.ndarray:
     padded = np.concatenate([buf.ravel(), np.zeros(8, dtype=np.uint8)])
     windows = np.lib.stride_tricks.sliding_window_view(padded, 8)[: buf.size + 1]
     return windows.copy().view(">u8").ravel().astype(np.uint64)
+
+
+def gather_windows64(padded: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Big-endian 8-byte windows at the given byte offsets of ``padded``.
+
+    The streaming counterpart of :func:`byte_windows64` for payloads too
+    large to window wholesale: ``padded`` must carry at least 8 trailing
+    zero bytes (so every in-range start reads a full window), and each
+    ``starts[i]`` yields the uint64 holding bytes
+    ``padded[starts[i] : starts[i] + 8]``.  Eight gathers instead of one
+    8x-RAM materialization — the Huffman decoder's fallback for
+    multi-hundred-MB payloads.
+    """
+    windows = np.zeros(starts.size, dtype=np.uint64)
+    for i in range(8):
+        windows = (windows << np.uint64(8)) | padded[starts + i].astype(
+            np.uint64
+        )
+    return windows
 
 
 def pack_varlen(

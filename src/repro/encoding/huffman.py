@@ -22,6 +22,8 @@ keeps memory bounded even for 17+-bit codes on 65537-symbol alphabets.
 from __future__ import annotations
 
 import heapq
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.encoding.bitio import (
     BitReader,
     BitWriter,
     byte_windows64,
+    gather_windows64,
     pack_varlen,
 )
 from repro.obs.tracer import active_collector
@@ -43,6 +46,40 @@ _WINDOW_MATERIALIZE_LIMIT = 64 << 20
 """Payloads up to this many bytes decode against a precomputed 8-byte
 window array (8x payload RAM, ~3x faster rounds); larger ones gather
 windows per round to keep peak memory bounded."""
+
+_MULTI_TABLE_BITS = 20
+"""Codes up to this long decode through a multi-symbol table: each
+window lookup emits every whole codeword inside the table's
+``width``-bit window (up to ``_MULTI_MAX_SYMS``), and chained lookups
+reuse one gathered 64-bit window, collapsing the per-symbol round loop
+by the symbols-per-round factor.  The bound caps table memory at
+``2^20`` entries."""
+
+_MULTI_BASE_BITS = 16
+"""Minimum multi-table window width.  Short-code tables still index a
+16-bit window so one lookup can pack several codewords."""
+
+_MULTI_MAX_SYMS = 8
+"""Cap on packed symbols per multi-table entry — bounds the table at
+``2^width * (4 * k + k + 2)`` bytes (~42 MB worst case at k = 8,
+width = 20)."""
+
+_FLAT_TABLE_BITS = 22
+"""Codes up to this long (but too long for the multi table) decode
+through a single flat ``max_len``-wide table, eliminating the two-level
+secondary gather branch.  Beyond it the 13-bit primary + subtable
+layout keeps memory bounded."""
+
+_SAFE_WINDOW_BITS = 57
+"""Usable bits of a gathered 8-byte window: the byte-aligned gather is
+shifted left by the cursor's bit skew (up to 7), zero-filling the low
+bits, so only ``64 - 7`` leading bits are guaranteed real.  Chained
+lookups must stay inside this budget."""
+
+_STAGE_ELEMS = 1 << 20
+"""Target element count (≈4 MB of int32) for the staged-emission
+buffer of the fast decode rounds; bounds memory for huge block counts
+while keeping flushes rare for typical ones."""
 
 
 def huffman_code_lengths(
@@ -146,6 +183,221 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
 
 
 @dataclass(frozen=True)
+class _MultiTables:
+    """Fused multi-symbol decode table (``max_len <= _MULTI_TABLE_BITS``).
+
+    For every ``width``-bit window value one row of ``fused`` packs the
+    whole decode step: column 0 holds ``(total_bits << 8) | count``
+    (count = whole codewords in the window, total_bits = their summed
+    lengths, both 0 for invalid windows) and columns ``1..k`` the
+    decoded symbols.  Packing metadata and symbols into one
+    row-contiguous array means each lookup touches a single cache line
+    instead of gathering three separate tables — the dominant cost of a
+    decode round.  ``chain`` successive lookups share one gathered
+    64-bit window (each offset by the previous total) without touching
+    the payload again.  ``cumbits`` (cumulative bits after each packed
+    codeword) serves the clamped single-lookup rounds near block ends.
+    """
+
+    width: int
+    k: int
+    chain: int
+    fused: np.ndarray  # int32 (2^width, 1 + k), [(totbits << 8) | count, syms...]
+    cumbits: np.ndarray  # uint8 (2^width, k) cumulative bits consumed
+
+
+@dataclass(frozen=True)
+class _TwoLevelTables:
+    """Primary prefix table + optional per-prefix subtables.
+
+    With ``primary_bits == max_len`` the secondary is empty and every
+    lookup resolves in the primary (the fused flat layout); otherwise
+    negative primary entries index into ``secondary`` chunks.
+    """
+
+    primary_bits: int
+    primary: np.ndarray  # int64 (2^primary_bits,), (sym << 6) | len
+    secondary: np.ndarray  # int64, concatenated subtable chunks
+    sub_base: np.ndarray  # int64, chunk start offsets into secondary
+    sub_depth: int
+
+
+_DecodeTables = _MultiTables | _TwoLevelTables
+
+
+def _sorted_present(
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Present symbols and their lengths in canonical (length, symbol) order.
+
+    Canonical codes in this order are consecutive within each length
+    class and left-aligned codewords tile the decode-table index space
+    contiguously from 0 — the property both flat builders rely on.
+    """
+    present = np.flatnonzero(lengths)
+    order = present[np.lexsort((present, lengths[present]))]
+    return order, lengths[order]
+
+
+def _build_multi_tables(lengths: np.ndarray, max_len: int) -> _MultiTables:
+    width = max(max_len, _MULTI_BASE_BITS)
+    size = 1 << width
+    sym1 = np.zeros(size, dtype=np.int32)
+    len1 = np.zeros(size, dtype=np.uint8)
+    order, lens_sorted = _sorted_present(lengths)
+    if order.size:
+        # Canonical tiling: symbol i (in canonical order) owns the
+        # contiguous 2^(width - len) slots starting at code << (width -
+        # len); any Kraft deficit leaves an invalid (length 0) tail.
+        reps = (1 << (width - lens_sorted)).astype(np.int64)
+        total = int(reps.sum(dtype=np.int64))
+        sym1[:total] = np.repeat(order.astype(np.int32), reps)
+        len1[:total] = np.repeat(lens_sorted.astype(np.uint8), reps)
+    min_len = int(lens_sorted[0]) if order.size else 1
+    k = max(1, min(_MULTI_MAX_SYMS, width // max(min_len, 1)))
+    fused = np.zeros((size, 1 + k), dtype=np.int32)
+    cumbits = np.zeros((size, k), dtype=np.uint8)
+    fused[:, 1] = sym1
+    cumbits[:, 0] = len1
+    valid = len1 > 0
+    counts = valid.astype(np.int64)
+    cum = len1.astype(np.int64)
+    idx = np.arange(size, dtype=np.int64)
+    mask = size - 1
+    for j in range(1, k):
+        # After consuming ``cum`` bits the remaining window tail (zero
+        # filled below bit 0) indexes the next codeword.  The prefix
+        # property makes the zero fill safe: any entry whose length fits
+        # the real bits decodes identically for every fill.
+        nxt = (idx << cum) & mask
+        ln = len1[nxt].astype(np.int64)
+        ok = valid & (ln > 0) & (cum + ln <= width)
+        fused[:, 1 + j] = np.where(ok, sym1[nxt], 0)
+        cum = np.where(ok, cum + ln, cum)
+        cumbits[:, j] = cum
+        counts += ok.astype(np.int64)
+        valid = ok
+        if not ok.any():
+            break
+    # Metadata word: total bits consumed by a full lookup (cumbits of
+    # the last packed codeword) and the codeword count; exactly 0 for
+    # invalid windows (no codeword resolves), so a chained cursor
+    # stalls there and the stall is detectable.
+    totbits = cumbits[np.arange(size), np.maximum(counts, 1) - 1].astype(
+        np.int64
+    ) * (counts > 0)
+    fused[:, 0] = ((totbits << 8) | counts).astype(np.int32)
+    chain = max(1, _SAFE_WINDOW_BITS // width)
+    return _MultiTables(width, k, chain, fused, cumbits)
+
+
+def _build_two_level_tables(
+    lengths: np.ndarray, codes: np.ndarray, max_len: int
+) -> _TwoLevelTables:
+    primary_bits = max_len if max_len <= _FLAT_TABLE_BITS else _PRIMARY_BITS
+    primary = np.zeros(1 << primary_bits, dtype=np.int64)
+    order, lens_sorted = _sorted_present(lengths)
+    short = lens_sorted <= primary_bits
+    if short.any():
+        # Same canonical tiling as the multi table, entries packed as
+        # (sym << 6) | len; only over-length codes need the loop below.
+        reps = (1 << (primary_bits - lens_sorted[short])).astype(np.int64)
+        entries = np.repeat((order[short] << 6) | lens_sorted[short], reps)
+        primary[: entries.size] = entries
+    sub_prefixes: dict[int, int] = {}
+    sub_chunks: list[np.ndarray] = []
+    sub_depth = max(max_len - primary_bits, 0)
+    for sym in order[~short]:
+        length = int(lengths[sym])
+        code = int(codes[sym])
+        prefix = code >> (length - primary_bits)
+        if prefix not in sub_prefixes:
+            sub_prefixes[prefix] = len(sub_chunks)
+            sub_chunks.append(np.zeros(1 << sub_depth, dtype=np.int64))
+            primary[prefix] = -(sub_prefixes[prefix] + 1)
+        table = sub_chunks[sub_prefixes[prefix]]
+        rem_len = length - primary_bits
+        rem = code & ((1 << rem_len) - 1)
+        lo = rem << (sub_depth - rem_len)
+        hi = lo + (1 << (sub_depth - rem_len))
+        table[lo:hi] = (int(sym) << 6) | length
+    secondary = (
+        np.concatenate(sub_chunks)
+        if sub_chunks
+        else np.zeros(0, dtype=np.int64)
+    )
+    sub_base = np.arange(len(sub_chunks), dtype=np.int64) * (1 << sub_depth)
+    return _TwoLevelTables(primary_bits, primary, secondary, sub_base, sub_depth)
+
+
+_TABLE_CACHE: OrderedDict[
+    tuple[bytes, int, int, int, int, int], _DecodeTables
+] = OrderedDict()
+_TABLE_CACHE_LOCK = threading.Lock()
+_TABLE_CACHE_SLOTS = 64
+_TABLE_CACHE_BYTES = 128 << 20
+"""Process-level decode-table LRU: tiled decompression parses one codec
+per tile, and re-reading the same container (repeated region queries,
+a second full decode) re-parses the same length tables — the tables
+(the expensive part) are reusable.  Keyed by the canonical lengths
+array plus the variant thresholds (so a monkeypatched threshold can
+never serve a stale layout).  Evicts on slot count *and* total table
+bytes: a wide multi table (width 20, k = 8) alone is ~42 MB, so slots
+alone would not bound memory.  The slot count must comfortably exceed
+a typical container's distinct-table count: cyclic tile order over an
+LRU smaller than the working set evicts every entry just before its
+next use (0% hit rate at N tables > N slots), so small tile tables
+should be bounded by bytes, not slots."""
+
+
+def _tables_nbytes(tables: _DecodeTables) -> int:
+    if isinstance(tables, _MultiTables):
+        arrays = (tables.fused, tables.cumbits)
+    else:
+        arrays = (tables.primary, tables.secondary, tables.sub_base)
+    return sum(int(a.nbytes) for a in arrays)
+
+
+def _decode_tables_for(
+    lengths: np.ndarray, codes: np.ndarray, max_len: int
+) -> _DecodeTables:
+    key = (
+        lengths.tobytes(),  # szlint: ignore[SZ104] — hashable cache key, one copy per table build
+        _PRIMARY_BITS,
+        _MULTI_TABLE_BITS,
+        _MULTI_BASE_BITS,
+        _MULTI_MAX_SYMS,
+        _FLAT_TABLE_BITS,
+    )
+    with _TABLE_CACHE_LOCK:
+        hit = _TABLE_CACHE.get(key)
+        if hit is not None:
+            _TABLE_CACHE.move_to_end(key)
+    collector = active_collector()
+    if hit is not None:
+        if collector is not None:
+            collector.add("huffman/table_cache_hits")
+        return hit
+    if collector is not None:
+        collector.add("huffman/table_cache_misses")
+    tables: _DecodeTables
+    if max_len <= _MULTI_TABLE_BITS:
+        tables = _build_multi_tables(lengths, max_len)
+    else:
+        tables = _build_two_level_tables(lengths, codes, max_len)
+    with _TABLE_CACHE_LOCK:
+        _TABLE_CACHE[key] = tables
+        total = sum(_tables_nbytes(t) for t in _TABLE_CACHE.values())
+        while len(_TABLE_CACHE) > 1 and (
+            len(_TABLE_CACHE) > _TABLE_CACHE_SLOTS
+            or total > _TABLE_CACHE_BYTES
+        ):
+            _, evicted = _TABLE_CACHE.popitem(last=False)
+            total -= _tables_nbytes(evicted)
+    return tables
+
+
+@dataclass(frozen=True)
 class EncodedStream:
     """A Huffman-encoded symbol stream with block index for parallel decode."""
 
@@ -232,7 +484,7 @@ class HuffmanCodec:
                     f"({kraft:.4f} > 1): not a prefix code"
                 )
         self.codes = _canonical_codes(self.lengths)
-        self._decode_tables: tuple | None = None
+        self._decode_tables: _DecodeTables | None = None
 
     # -- construction --------------------------------------------------
 
@@ -486,43 +738,11 @@ class HuffmanCodec:
 
     # -- decoding --------------------------------------------------------
 
-    def _build_decode_tables(self) -> tuple:
-        if self._decode_tables is not None:
-            return self._decode_tables
-        max_len = max(self.max_len, 1)
-        primary_bits = min(_PRIMARY_BITS, max_len)
-        primary = np.zeros(1 << primary_bits, dtype=np.int64)
-        sub_prefixes: dict[int, int] = {}
-        sub_chunks: list[np.ndarray] = []
-        sub_depth = max_len - primary_bits
-        present = np.flatnonzero(self.lengths)
-        for sym in present:
-            length = int(self.lengths[sym])
-            code = int(self.codes[sym])
-            if length <= primary_bits:
-                # The codeword occupies all primary slots sharing its prefix.
-                lo = code << (primary_bits - length)
-                hi = lo + (1 << (primary_bits - length))
-                primary[lo:hi] = (int(sym) << 6) | length
-            else:
-                prefix = code >> (length - primary_bits)
-                if prefix not in sub_prefixes:
-                    sub_prefixes[prefix] = len(sub_chunks)
-                    sub_chunks.append(np.zeros(1 << sub_depth, dtype=np.int64))
-                    primary[prefix] = -(sub_prefixes[prefix] + 1)
-                table = sub_chunks[sub_prefixes[prefix]]
-                rem_len = length - primary_bits
-                rem = code & ((1 << rem_len) - 1)
-                lo = rem << (sub_depth - rem_len)
-                hi = lo + (1 << (sub_depth - rem_len))
-                table[lo:hi] = (int(sym) << 6) | length
-        secondary = (
-            np.concatenate(sub_chunks)
-            if sub_chunks
-            else np.zeros(0, dtype=np.int64)
-        )
-        sub_base = np.arange(len(sub_chunks), dtype=np.int64) * (1 << sub_depth)
-        self._decode_tables = (primary_bits, primary, secondary, sub_base, sub_depth)
+    def _build_decode_tables(self) -> _DecodeTables:
+        if self._decode_tables is None:
+            self._decode_tables = _decode_tables_for(
+                self.lengths, self.codes, max(self.max_len, 1)
+            )
         return self._decode_tables
 
     def decode(self, stream: EncodedStream) -> np.ndarray:
@@ -531,6 +751,229 @@ class HuffmanCodec:
             return self._decode_impl(stream)
 
     def _decode_impl(self, stream: EncodedStream) -> np.ndarray:
+        tables = self._build_decode_tables()
+        if isinstance(tables, _MultiTables):
+            out, rounds, lookups = self._decode_multi(stream, tables)
+        else:
+            out, rounds, lookups = self._decode_two_level(stream, tables)
+        collector = active_collector()
+        if collector is not None and lookups:
+            collector.add("huffman/rounds", float(rounds))
+            collector.observe(
+                "huffman/symbols_per_lookup", stream.n_symbols / lookups
+            )
+        return out
+
+    def _decode_multi(
+        self, stream: EncodedStream, tables: _MultiTables
+    ) -> tuple[np.ndarray, int, int]:
+        # Each round gathers one 64-bit window per still-active block.
+        # While every block has more than ``chain * k`` symbols left
+        # (the *fast* rounds — almost all of them), the round runs
+        # ``chain`` table lookups off that single window, each offset by
+        # the previous lookup's total bit consumption: no clamping, no
+        # compaction, and the raw gathers are staged into a flat buffer
+        # instead of scattered — one bulk compaction per ~``stage_rows``
+        # rounds replaces the per-round masked scatter that otherwise
+        # dominates.  An invalid window inside a chain has ``totbits``
+        # 0, so the cursor stalls on it and the stall is caught as a
+        # zero round-consumption on the next round; its staged entries
+        # have count 0 and emit nothing, and fast-round writes cannot
+        # escape the block because ``rem > chain * k`` held on entry.
+        #
+        # Once any block is within ``chain * k`` symbols of its end the
+        # round falls back to a single clamped lookup with immediate
+        # emission (*careful* rounds), finishing blocks are compacted
+        # out, and fast rounds resume for the survivors.
+        n = stream.n_symbols
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return out, 0, 0
+        nblocks = stream.block_bits.size
+        starts = np.zeros(nblocks, dtype=np.int64)
+        np.cumsum(stream.block_bits[:-1].astype(np.int64), out=starts[1:])
+        end_bits = starts + stream.block_bits.astype(np.int64)
+        payload = stream.payload
+        materialize = payload.size <= _WINDOW_MATERIALIZE_LIMIT
+        if materialize:
+            windows = byte_windows64(payload)
+        else:
+            padded = np.concatenate([payload, np.zeros(8, dtype=np.uint8)])
+        max_byte = payload.size  # clamp: corrupt cursors must not escape
+        k = tables.k
+        chain = tables.chain
+        cap = chain * k
+        roww = 1 + k  # fused-table row: meta word + k symbol slots
+        shift = np.uint64(64 - tables.width)
+        # Fast rounds run in plain int64: the window view reinterprets
+        # the uint64 bits (two's complement shifts produce the same bit
+        # patterns), the arithmetic right shift's sign fill is masked
+        # off, and no per-chain astype casts remain.
+        shift_i = np.int64(64 - tables.width)
+        mask_i = np.int64((1 << tables.width) - 1)
+        # When the fused row width is a power of two the ``idx * roww``
+        # flat-row offset folds into the shift/mask pair for free.
+        if roww & (roww - 1) == 0:
+            rsh = roww.bit_length() - 1
+            shift_r = np.int64(64 - tables.width - rsh)
+            mask_r = np.int64(((1 << tables.width) - 1) << rsh)
+            fold = True
+        else:
+            shift_r, mask_r = shift_i, mask_i
+            fold = False
+        cols = np.arange(k, dtype=np.int64)
+        row_cols = np.arange(roww, dtype=np.int64)
+        fused_t, cumbits_t = tables.fused, tables.cumbits
+        fused_flat = fused_t.reshape(-1)
+        # Prefix-emission LUT over whole staged rows: row t skips the
+        # meta slot and selects the first t of the k packed symbol slots
+        # (fancy-indexing it by the staged counts is cheaper than a
+        # broadcast compare at flush time).
+        emit_lut = np.zeros((k + 1, roww), dtype=bool)
+        for t in range(1, k + 1):
+            emit_lut[t, 1 : 1 + t] = True
+        cur = starts.copy()
+        rem = np.full(nblocks, stream.block_size, dtype=np.int64)
+        rem[-1] = n - stream.block_size * (nblocks - 1)
+        opos = np.arange(nblocks, dtype=np.int64) * stream.block_size
+        blk = np.arange(nblocks, dtype=np.int64)
+        cursors = starts.copy()
+        rounds = 0
+        lookups = 0
+        stage_buf: np.ndarray | None = None
+        staged = 0
+        base = np.zeros(0, dtype=np.int64)
+        # Fast rounds track only a scalar lower bound on the smallest
+        # per-block remainder (every round consumes at most ``cap``
+        # symbols per block); true ``rem``/``opos`` are settled at flush
+        # time from the staged counts.
+        lb = int(rem.min())
+
+        def _flush() -> None:
+            # Bulk-compact the staged fast rounds.  The staged gathers
+            # are round-major (contiguous per-round writes); one
+            # transpose copy makes them block-major, so the masked
+            # extraction preserves decode order per block and each
+            # block's symbols land in one contiguous ``out`` run
+            # starting at its position snapshot (``base``).
+            nonlocal staged, lb, rem, opos
+            if not staged:
+                return
+            assert stage_buf is not None
+            gb = np.ascontiguousarray(
+                stage_buf[:staged].transpose(1, 0, 2, 3)
+            )  # (na, R, chain, roww)
+            tk = gb[:, :, :, 0] & 0xFF  # per-lookup codeword counts
+            na_ = tk.shape[0]
+            emit = emit_lut[tk]  # (na, R, chain, roww)
+            nz = np.flatnonzero(emit)
+            vals = gb.reshape(-1)[nz]  # same linear layout as ``emit``
+            cnts = tk.sum(axis=(1, 2), dtype=np.int64)
+            offs = np.cumsum(cnts, dtype=np.int64)
+            if na_ <= 256:
+                s = 0
+                for i in range(na_):
+                    e = int(offs[i])
+                    out[base[i] : base[i] + (e - s)] = vals[s:e]
+                    s = e
+            else:
+                dest = np.repeat(base - (offs - cnts), cnts) + np.arange(
+                    vals.size, dtype=np.int64
+                )
+                out[dest] = vals
+            rem -= cnts
+            opos += cnts
+            lb = int(rem.min())
+            staged = 0
+
+        while cur.size:
+            rounds += 1
+            na = cur.size
+            skew = (cur & 7).astype(np.uint64)
+            if materialize:
+                # mode="clip" is the corrupt-cursor clamp: the window
+                # array has ``payload.size + 1`` entries, so clipping
+                # lands on the same all-padding window as the explicit
+                # ``np.minimum(..., max_byte)`` bound.
+                window = np.take(windows, cur >> 3, mode="clip") << skew
+            else:
+                byte0 = np.minimum(cur >> 3, max_byte)
+                window = gather_windows64(padded, byte0) << skew
+            if lb > cap:
+                lookups += na * chain
+                if stage_buf is None:
+                    stage_rows = max(
+                        1,
+                        min(1024, _STAGE_ELEMS // max(na * chain * roww, 1)),
+                    )
+                    stage_buf = np.empty(
+                        (stage_rows, na, chain, roww), dtype=np.int32
+                    )
+                if staged == 0:
+                    # Position snapshot for the batch: careful rounds
+                    # may have advanced ``opos`` since the last flush.
+                    base = opos.copy()
+                grow = stage_buf[staged]
+                win = window.view(np.int64)
+                cum: np.ndarray | None = None
+                for c in range(chain):
+                    shifted = win if cum is None else win << cum
+                    rowoff = (shifted >> shift_r) & mask_r
+                    if not fold:
+                        rowoff = rowoff * roww
+                    # Flat 1-D gather of whole fused rows: one indexed
+                    # load per (block, chain) instead of numpy's slower
+                    # per-row 2-D gather path.
+                    g = np.take(fused_flat, rowoff[:, None] + row_cols)
+                    grow[:, c] = g
+                    if cum is None:
+                        cum = g[:, 0] >> 8
+                    else:
+                        cum += g[:, 0] >> 8
+                assert cum is not None
+                if not cum.all():
+                    raise ValueError(
+                        "corrupt Huffman stream: invalid codeword"
+                    )
+                staged += 1
+                lb -= cap
+                cur += cum
+                if staged == stage_buf.shape[0]:
+                    _flush()
+            else:
+                _flush()
+                lookups += na
+                idx = (window >> shift).astype(np.int64)
+                g = fused_t[idx]
+                take = np.minimum((g[:, 0] & 0xFF).astype(np.int64), rem)
+                if not take.all():
+                    raise ValueError(
+                        "corrupt Huffman stream: invalid codeword"
+                    )
+                emit = cols < take[:, None]
+                out[(opos[:, None] + cols)[emit]] = g[:, 1:][emit]
+                cur += cumbits_t[idx, take - 1].astype(np.int64)
+                rem -= take
+                opos += take
+                done = rem == 0
+                if done.any():
+                    cursors[blk[done]] = cur[done]
+                    keep = ~done
+                    cur, rem, opos, blk = (
+                        cur[keep], rem[keep], opos[keep], blk[keep]
+                    )
+                    # Active-set width changed: drop the staging buffer so
+                    # the next fast batch reallocates at the new width.
+                    stage_buf = None
+                lb = int(rem.min()) if rem.size else 0
+        _flush()
+        if not np.array_equal(cursors, end_bits):
+            raise ValueError("corrupt Huffman stream: block length mismatch")
+        return out, rounds, lookups
+
+    def _decode_two_level(
+        self, stream: EncodedStream, tables: _TwoLevelTables
+    ) -> tuple[np.ndarray, int, int]:
         # Round ``r`` decodes symbol ``r`` of every still-active block.
         # Two standing optimizations over the textbook formulation:
         #
@@ -540,13 +983,17 @@ class HuffmanCodec:
         # * only the *last* block can be short, so the active set is
         #   always a prefix of the block arrays — no per-round
         #   ``flatnonzero``.
+        #
+        # With ``primary_bits == max_len`` (the fused flat layout, codes
+        # up to ``_FLAT_TABLE_BITS``) the secondary is empty and the
+        # ``long_mask`` branch below never fires.
         n = stream.n_symbols
         out = np.zeros(n, dtype=np.int64)
         if n == 0:
-            return out
-        primary_bits, primary, secondary, sub_base, sub_depth = (
-            self._build_decode_tables()
-        )
+            return out, 0, 0
+        primary_bits = tables.primary_bits
+        primary, secondary = tables.primary, tables.secondary
+        sub_base, sub_depth = tables.sub_base, tables.sub_depth
         max_len = max(self.max_len, 1)
         nblocks = stream.block_bits.size
         cursors = np.zeros(nblocks, dtype=np.int64)
@@ -568,22 +1015,21 @@ class HuffmanCodec:
         prim_shift = np.uint64(64 - primary_bits)
         rem_shift = np.uint64(64 - max_len)
         rem_mask = (1 << sub_depth) - 1
+        rounds = 0
+        lookups = 0
         for r in range(stream.block_size):
             na = nblocks if r < last_count else nblocks - 1
             if na == 0:
                 break
+            rounds += 1
+            lookups += na
             cur = cursors[:na]
             byte0 = np.minimum(cur >> 3, max_byte)
             skew = (cur & 7).astype(np.uint64)
             if materialize:
                 window = windows[byte0] << skew
             else:
-                window = np.zeros(na, dtype=np.uint64)
-                for i in range(8):
-                    window = (window << np.uint64(8)) | padded[
-                        byte0 + i
-                    ].astype(np.uint64)
-                window <<= skew
+                window = gather_windows64(padded, byte0) << skew
             idx = (window >> prim_shift).astype(np.int64)
             entry = primary[idx]
             long_mask = entry < 0
@@ -599,7 +1045,7 @@ class HuffmanCodec:
             cur += entry & 63
         if not np.array_equal(cursors, end_bits):
             raise ValueError("corrupt Huffman stream: block length mismatch")
-        return out
+        return out, rounds, lookups
 
     def decode_scalar(self, stream: EncodedStream) -> np.ndarray:
         """Bit-by-bit reference decoder (slow; used to validate ``decode``)."""

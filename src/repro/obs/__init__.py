@@ -20,6 +20,15 @@ Cross-process paths (:func:`repro.parallel.pool_map`, tiled compression
 with ``workers > 1``) ship each worker's spans and metrics back with its
 result and merge them into the parent's collector with per-worker lane
 attribution — one trace covers the whole run.
+
+Decode-side entropy telemetry (``repro-sz trace`` surfaces all of it):
+``huffman/rounds`` (vectorized lookup rounds per decode) and
+``huffman/symbols_per_lookup`` (multi-symbol table efficiency) describe
+the block-parallel decoder; ``huffman/table_cache_hits`` /
+``huffman/table_cache_misses`` count the process-level decode-table
+cache (keyed by the canonical lengths array — tiled reads share tables
+across tiles); ``tiled/reads`` / ``tiled/bytes_read`` account container
+byte traffic per run.
 """
 
 from repro.obs.export import (

@@ -27,7 +27,12 @@ from typing import Any
 
 from repro.perf.bench import validate_report
 
-__all__ = ["compare_reports", "stage_coverage_notes", "main"]
+__all__ = [
+    "compare_reports",
+    "missing_required_stages",
+    "stage_coverage_notes",
+    "main",
+]
 
 DEFAULT_TOLERANCE = 1.5
 DEFAULT_FLOOR_SECONDS = 5e-3
@@ -166,6 +171,33 @@ def stage_coverage_notes(
     return notes
 
 
+def missing_required_stages(
+    fresh: dict[str, Any], requirements: list[str]
+) -> list[str]:
+    """Requirements (``case:side:stage/path``) absent from ``fresh``.
+
+    The per-stage comparison loop only checks stages present in the
+    *baseline*, so a stage that matters (say ``entropy/huffman_decode``)
+    could silently vanish from coverage if a baseline refresh was taken
+    while its instrumentation was broken.  Required stages pin coverage
+    against the fresh report itself, independent of baseline contents.
+    """
+    fresh_cases = {c["name"]: c for c in fresh.get("cases", [])}
+    missing: list[str] = []
+    for spec in requirements:
+        parts = spec.split(":", 2)
+        if len(parts) != 3 or parts[1] not in ("compress", "decompress"):
+            raise ValueError(
+                f"bad --require-stage spec {spec!r}; "
+                "expected case:compress|decompress:stage/path"
+            )
+        case_name, side, stage_path = parts
+        case = fresh_cases.get(case_name)
+        if case is None or stage_path not in case[side]["stages"]:
+            missing.append(spec)
+    return missing
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.gate",
@@ -193,6 +225,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare raw seconds without machine-speed calibration",
     )
+    parser.add_argument(
+        "--require-stage",
+        action="append",
+        default=[],
+        metavar="CASE:SIDE:STAGE",
+        help="fail unless the fresh report records this stage, e.g. "
+             "3d-f32-rel:decompress:entropy/huffman_decode "
+             "(repeatable; checked against the fresh report so lost "
+             "instrumentation cannot be re-baselined away)",
+    )
     args = parser.parse_args(argv)
     with open(args.baseline) as fh:
         baseline = json.load(fh)
@@ -216,6 +258,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     for note in stage_coverage_notes(baseline, fresh):
         print(f"perf gate: note — {note}")
+    missing = missing_required_stages(fresh, args.require_stage)
+    if missing:
+        for spec in missing:
+            print(f"perf gate: required stage absent from fresh run — {spec}")
+        return 1
     if not regressions:
         print("perf gate: OK — no stage regressed beyond tolerance")
         return 0

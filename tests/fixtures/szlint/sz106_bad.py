@@ -1,0 +1,9 @@
+"""SZ106 fixture: string dispatch on the entropy coder outside encoding/."""
+
+
+def emit(codes, entropy_coder):
+    if entropy_coder == "arithmetic":
+        return codes[::-1]
+    if entropy_coder in ("huffman", "range"):
+        return codes
+    return None

@@ -1,0 +1,13 @@
+"""SZ106 fixture: registry-routed entropy-coder dispatch (clean)."""
+
+from repro.encoding import DEFAULT_ENTROPY_CODER, get_entropy_coder
+
+
+def emit(codes, entropy_coder, interval_bits, block_size):
+    coder = get_entropy_coder(entropy_coder)
+    if entropy_coder == DEFAULT_ENTROPY_CODER:
+        # Defaults check against the named constant — not dispatch.
+        pass
+    return coder.encode(
+        codes, interval_bits=interval_bits, block_size=block_size
+    )

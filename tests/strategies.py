@@ -19,6 +19,7 @@ __all__ = [
     "adversarial_shapes",
     "error_bounds",
     "float_dtypes",
+    "huffman_symbol_streams",
     "wavefront_arrays",
 ]
 
@@ -67,6 +68,47 @@ def float_dtypes() -> st.SearchStrategy:
 def error_bounds() -> st.SearchStrategy:
     """Absolute bounds spanning loose to ulp-stressing tight."""
     return st.sampled_from([1e-1, 1e-2, 1e-3, 1e-5])
+
+
+@st.composite
+def huffman_symbol_streams(draw, max_symbols: int = 3000):
+    """Adversarial Huffman inputs: ``(symbols, alphabet_size, block_size)``.
+
+    The distributions target the decode-table variants' edge cases:
+    single-symbol alphabets (1-bit codes, maximal symbols-per-lookup),
+    near-uniform draws (all codewords the same mid-length), heavily
+    skewed geometric draws (short codes for the head, deep codes for
+    the tail — the quantization-code shape) and a sprinkle of isolated
+    rare symbols (codeword lengths far apart inside one table).
+    """
+    n = draw(st.integers(min_value=1, max_value=max_symbols))
+    block_size = draw(st.sampled_from([1, 7, 64, 500, 4096]))
+    kind = draw(
+        st.sampled_from(["single", "uniform", "skewed", "sparse_tail"])
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if kind == "single":
+        alphabet = draw(st.integers(min_value=1, max_value=40))
+        symbols = np.full(n, alphabet - 1, dtype=np.int64)
+    elif kind == "uniform":
+        alphabet = draw(st.sampled_from([2, 17, 256, 1000]))
+        symbols = rng.integers(0, alphabet, n).astype(np.int64)
+    elif kind == "skewed":
+        alphabet = draw(st.sampled_from([8, 64, 1024]))
+        symbols = np.minimum(
+            rng.geometric(draw(st.sampled_from([0.2, 0.6, 0.95])), n) - 1,
+            alphabet - 1,
+        ).astype(np.int64)
+    else:  # sparse_tail: one dominant symbol plus a few rare outliers
+        alphabet = draw(st.sampled_from([100, 5000]))
+        symbols = np.zeros(n, dtype=np.int64)
+        k = min(n - 1, draw(st.integers(min_value=0, max_value=8)))
+        if k:
+            symbols[rng.choice(n, size=k, replace=False)] = rng.integers(
+                1, alphabet, k
+            )
+    return symbols, alphabet, block_size
 
 
 @st.composite

@@ -17,7 +17,11 @@ from repro.perf.bench import (
     synth_field,
     validate_report,
 )
-from repro.perf.gate import compare_reports, stage_coverage_notes
+from repro.perf.gate import (
+    compare_reports,
+    missing_required_stages,
+    stage_coverage_notes,
+)
 
 
 class TestStageTimer:
@@ -283,7 +287,65 @@ class TestPerfGate:
             / "benchmarks" / "baselines" / "bench_baseline.json"
         )
         with open(path) as fh:
-            validate_report(json.load(fh))
+            report = json.load(fh)
+        validate_report(report)
+        # The CI gate pins these stages on the fresh report; the
+        # committed baseline must carry them too or a refresh would
+        # immediately lose the coverage the pin exists to protect.
+        assert missing_required_stages(
+            report,
+            [
+                "3d-f32-rel:decompress:entropy/huffman_decode",
+                "3d-f32-rel:compress:entropy/huffman_encode",
+            ],
+        ) == []
+
+
+class TestRequiredStages:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return _tiny_report()
+
+    def test_present_stage_passes(self, report):
+        case = report["cases"][0]["name"]
+        stage = next(iter(report["cases"][0]["decompress"]["stages"]))
+        spec = f"{case}:decompress:{stage}"
+        assert missing_required_stages(report, [spec]) == []
+
+    def test_absent_stage_or_case_is_reported(self, report):
+        case = report["cases"][0]["name"]
+        specs = [
+            f"{case}:decompress:no/such/stage",
+            "9d-f32-new:compress:quantize",
+        ]
+        assert missing_required_stages(report, specs) == specs
+
+    def test_bad_spec_raises(self, report):
+        with pytest.raises(ValueError, match="require-stage"):
+            missing_required_stages(report, ["just-a-case-name"])
+        with pytest.raises(ValueError, match="require-stage"):
+            missing_required_stages(report, ["case:sideways:stage"])
+
+    def test_cli_fails_on_missing_required_stage(self, report, tmp_path):
+        from repro.perf.gate import main as gate_main
+
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(report))
+        case = report["cases"][0]["name"]
+        ok = gate_main(
+            [
+                str(base),
+                str(base),
+                "--require-stage",
+                f"{case}:decompress:"
+                + next(iter(report["cases"][0]["decompress"]["stages"])),
+            ]
+        )
+        assert ok == 0
+        bad = gate_main(
+            [str(base), str(base), "--require-stage", f"{case}:decompress:gone"]
+        )
+        assert bad == 1
 
 
 class TestStageCoverageNotes:

@@ -24,7 +24,7 @@ from tools.szlint import Diagnostic, lint_paths  # noqa: E402
 
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "szlint"
 
-RULES = ("SZ101", "SZ102", "SZ103", "SZ104", "SZ105")
+RULES = ("SZ101", "SZ102", "SZ103", "SZ104", "SZ105", "SZ106")
 
 
 def _lint(path: Path, **kwargs):
@@ -92,6 +92,28 @@ def test_sz105_counts_parameters() -> None:
     (diag,) = result.diagnostics
     assert "compress_stream" in diag.message
     assert "7 named parameters" in diag.message
+
+
+def test_sz106_flags_eq_and_membership_dispatch() -> None:
+    result = _lint(FIXTURES / "sz106_bad.py")
+    assert len(result.diagnostics) == 2
+    assert all("entropy_coder" in d.message for d in result.diagnostics)
+    assert all("get_entropy_coder" in d.message for d in result.diagnostics)
+
+
+def test_sz106_exempts_the_encoding_package(tmp_path: Path) -> None:
+    pkg = tmp_path / "repro" / "encoding"
+    pkg.mkdir(parents=True)
+    snippet = pkg / "custom.py"
+    snippet.write_text('def pick(entropy_coder):\n'
+                       '    return entropy_coder == "huffman"\n')
+    # Without force_scope the registry package is exempt...
+    assert lint_paths([snippet], select=["SZ106"]).ok
+    # ...and the same code one level up is not.
+    outside = tmp_path / "repro" / "custom.py"
+    outside.write_text(snippet.read_text())
+    result = lint_paths([outside], select=["SZ106"])
+    assert not result.ok
 
 
 # ---------------------------------------------------------------------------

@@ -12,9 +12,12 @@ contract end to end across PRs.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from strategies import huffman_symbol_streams
 
+import repro.encoding.huffman as hf
 from repro.encoding.bitio import (
     BitReader,
     BitWriter,
@@ -296,8 +299,6 @@ class TestEncodedStreamIdentity:
     ):
         # Payloads above the materialization limit gather windows per
         # round; force that path and check it agrees with the fast one.
-        import repro.encoding.huffman as hf
-
         rng = np.random.default_rng(7)
         symbols = np.minimum(rng.geometric(0.4, 20000) - 1, 30)
         codec = HuffmanCodec.from_symbols(symbols, 31)
@@ -307,3 +308,174 @@ class TestEncodedStreamIdentity:
         slow = codec.decode(stream)
         np.testing.assert_array_equal(fast, slow)
         np.testing.assert_array_equal(slow, symbols)
+
+
+# Decode-table variants, forced via the module thresholds.  The cache
+# keys on the threshold values, so patched runs can never serve (or
+# poison) a table built under different thresholds.
+VARIANTS = {
+    "multi": {},  # default for max_len <= _MULTI_TABLE_BITS
+    "flat": {"_MULTI_TABLE_BITS": 0, "_FLAT_TABLE_BITS": 20},
+    "two_level": {"_MULTI_TABLE_BITS": 0, "_FLAT_TABLE_BITS": 0},
+}
+
+_EXPECTED_TABLES = {
+    "multi": hf._MultiTables,
+    "flat": hf._TwoLevelTables,
+    "two_level": hf._TwoLevelTables,
+}
+
+
+def _decode_with_variant(
+    codec: HuffmanCodec, stream: EncodedStream, variant: str
+) -> np.ndarray:
+    with pytest.MonkeyPatch.context() as mp:
+        for name, value in VARIANTS[variant].items():
+            mp.setattr(hf, name, value)
+        fresh = HuffmanCodec(codec.lengths)
+        tables = fresh._build_decode_tables()
+        assert isinstance(tables, _EXPECTED_TABLES[variant])
+        if variant == "flat":
+            assert tables.secondary.size == 0
+        return fresh.decode(stream)
+
+
+class TestDecodeVariantIdentity:
+    """Every decode-table variant pitted against ``decode_scalar``."""
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_single_symbol_alphabet(self, variant):
+        codec = HuffmanCodec(np.array([1], dtype=np.int64))
+        symbols = np.zeros(777, dtype=np.int64)
+        stream = codec.encode(symbols, block_size=100)
+        np.testing.assert_array_equal(
+            _decode_with_variant(codec, stream, variant), symbols
+        )
+        np.testing.assert_array_equal(codec.decode_scalar(stream), symbols)
+
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_skewed_frequencies(self, variant):
+        rng = np.random.default_rng(11)
+        symbols = np.minimum(rng.geometric(0.55, 6000) - 1, 200).astype(
+            np.int64
+        )
+        codec = HuffmanCodec.from_symbols(symbols, 201)
+        stream = codec.encode(symbols, block_size=192)
+        got = _decode_with_variant(codec, stream, variant)
+        np.testing.assert_array_equal(got, symbols)
+        np.testing.assert_array_equal(codec.decode_scalar(stream), symbols)
+
+    def test_max_depth_32_codes(self):
+        # A depth-32 chain code: lengths 1..31 plus two 32s saturate the
+        # Kraft sum exactly.  max_len = 32 always routes to the
+        # two-level tables (the deep prefixes share one subtable).
+        lengths = np.concatenate(
+            [np.arange(1, 32, dtype=np.int64), [32, 32]]
+        )
+        codec = HuffmanCodec(lengths)
+        assert codec.max_len == HuffmanCodec.MAX_DECODE_LEN
+        rng = np.random.default_rng(5)
+        # Mix shallow symbols with the deepest codewords.
+        symbols = rng.choice(
+            np.array([0, 1, 2, 30, 31, 32]), size=400
+        ).astype(np.int64)
+        stream = codec.encode(symbols, block_size=37)
+        assert isinstance(codec._build_decode_tables(), hf._TwoLevelTables)
+        np.testing.assert_array_equal(codec.decode(stream), symbols)
+        np.testing.assert_array_equal(codec.decode_scalar(stream), symbols)
+
+    @given(case=huffman_symbol_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_variants_match_scalar_reference(self, case):
+        symbols, alphabet, block_size = case
+        codec = HuffmanCodec.from_symbols(symbols, alphabet)
+        stream = codec.encode(symbols, block_size=block_size)
+        ref = codec.decode_scalar(stream)
+        np.testing.assert_array_equal(ref, symbols)
+        for variant in sorted(VARIANTS):
+            got = _decode_with_variant(codec, stream, variant)
+            np.testing.assert_array_equal(got, ref)
+
+
+class TestDecodeScalarSeekPath:
+    def test_unaligned_block_boundaries_at_payload_end(self):
+        # Satellite regression: decode_scalar re-seeks the reader to
+        # each block's bit offset.  With 2- and 1-bit codewords and a
+        # 3-symbol block, every block boundary (and the payload end)
+        # lands mid-byte — the seek path must still produce the exact
+        # symbol sequence, matching the vectorized decoder.
+        symbols = np.array(
+            [0, 1, 2, 0, 1, 2, 2, 1, 0, 0, 1, 2, 0], dtype=np.int64
+        )
+        codec = HuffmanCodec.from_frequencies(
+            np.array([10, 3, 2], dtype=np.int64)
+        )
+        stream = codec.encode(symbols, block_size=3)
+        assert int(stream.block_bits.sum(dtype=np.int64)) % 8 != 0
+        assert all(int(b) % 8 != 0 for b in stream.block_bits)
+        np.testing.assert_array_equal(codec.decode_scalar(stream), symbols)
+        np.testing.assert_array_equal(codec.decode(stream), symbols)
+
+
+class TestDecodeTableCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        with hf._TABLE_CACHE_LOCK:
+            hf._TABLE_CACHE.clear()
+        yield
+        with hf._TABLE_CACHE_LOCK:
+            hf._TABLE_CACHE.clear()
+
+    def test_identical_length_tables_share_one_build(self):
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 50, 2000).astype(np.int64)
+        a = HuffmanCodec.from_symbols(symbols, 50)
+        b = HuffmanCodec(a.lengths.copy())
+        assert a._build_decode_tables() is b._build_decode_tables()
+
+    def test_different_length_tables_do_not_cross_talk(self):
+        # Two codecs, two different length arrays: each stream must
+        # decode through its own table even when decodes interleave.
+        rng = np.random.default_rng(4)
+        sym_a = rng.integers(0, 17, 1500).astype(np.int64)
+        sym_b = np.minimum(rng.geometric(0.8, 1500) - 1, 250).astype(
+            np.int64
+        )
+        a = HuffmanCodec.from_symbols(sym_a, 17)
+        b = HuffmanCodec.from_symbols(sym_b, 251)
+        assert not np.array_equal(a.lengths, b.lengths)
+        stream_a = a.encode(sym_a, block_size=128)
+        stream_b = b.encode(sym_b, block_size=128)
+        np.testing.assert_array_equal(a.decode(stream_a), sym_a)
+        np.testing.assert_array_equal(b.decode(stream_b), sym_b)
+        np.testing.assert_array_equal(a.decode(stream_a), sym_a)
+        assert a._build_decode_tables() is not b._build_decode_tables()
+
+    def test_cache_telemetry_counters(self):
+        from repro.obs import Collector
+
+        rng = np.random.default_rng(6)
+        symbols = rng.integers(0, 30, 800).astype(np.int64)
+        with Collector() as col:
+            first = HuffmanCodec.from_symbols(symbols, 30)
+            stream = first.encode(symbols, block_size=64)
+            first.decode(stream)
+            again = HuffmanCodec(first.lengths.copy())
+            again.decode(stream)
+        assert col.counters["huffman/table_cache_misses"] == 1.0
+        assert col.counters["huffman/table_cache_hits"] == 1.0
+        assert col.counters["huffman/rounds"] >= 2.0
+        assert "huffman/symbols_per_lookup" in col.observations
+
+    def test_cache_eviction_keeps_decodes_correct(self, monkeypatch):
+        monkeypatch.setattr(hf, "_TABLE_CACHE_SLOTS", 2)
+        rng = np.random.default_rng(9)
+        cases = []
+        for alphabet in (3, 5, 9, 33):
+            symbols = rng.integers(0, alphabet, 300).astype(np.int64)
+            codec = HuffmanCodec.from_symbols(symbols, alphabet)
+            cases.append((codec, codec.encode(symbols, block_size=64), symbols))
+        for codec, stream, symbols in cases * 2:
+            codec._decode_tables = None  # force a cache lookup each time
+            np.testing.assert_array_equal(codec.decode(stream), symbols)
+        assert len(hf._TABLE_CACHE) <= 2

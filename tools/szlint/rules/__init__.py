@@ -40,5 +40,6 @@ def all_rules() -> list[Rule]:
     from tools.szlint.rules.sz103 import SZ103
     from tools.szlint.rules.sz104 import SZ104
     from tools.szlint.rules.sz105 import SZ105
+    from tools.szlint.rules.sz106 import SZ106
 
-    return [SZ101(), SZ102(), SZ103(), SZ104(), SZ105()]
+    return [SZ101(), SZ102(), SZ103(), SZ104(), SZ105(), SZ106()]

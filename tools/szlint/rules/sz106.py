@@ -1,0 +1,77 @@
+"""SZ106 — entropy-coder dispatch goes through the registry.
+
+PR 9 formalized the entropy stage behind the ``EntropyCoder`` registry
+(:mod:`repro.encoding.coders`): ``get_entropy_coder(name)`` /
+``coder_for_flags(flags)`` replace the ``entropy_coder == "arithmetic"``
+string branches that used to live in ``core/compressor.py``.  This rule
+flags any comparison of an ``entropy_coder`` variable (or attribute)
+against a string literal outside ``repro/encoding/`` — the exact
+re-growth of string dispatch the registry was built to stop.  Comparing
+against a named constant (``DEFAULT_ENTROPY_CODER``) stays legal: that
+is a defaults check, not dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.szlint.diagnostics import Diagnostic
+from tools.szlint.rules import Rule
+
+__all__ = ["SZ106"]
+
+#: the registry package, where string names may legitimately be handled.
+EXEMPT = "repro/encoding/"
+
+_TARGET = "entropy_coder"
+
+
+def _is_target(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == _TARGET
+    if isinstance(node, ast.Attribute):
+        return node.attr == _TARGET
+    return False
+
+
+def _is_str_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return bool(node.elts) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in node.elts
+        )
+    return False
+
+
+class SZ106(Rule):
+    rule_id = "SZ106"
+
+    def applies(self, module: str) -> bool:
+        return "repro/" in module and EXEMPT not in module
+
+    def check(
+        self, path: str, module: str, tree: ast.Module, source: str
+    ) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left, *node.comparators]
+            if not any(_is_target(s) for s in sides):
+                continue
+            if not any(_is_str_literal(s) for s in sides):
+                continue
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    self.rule_id,
+                    "string dispatch on `entropy_coder` outside "
+                    "repro/encoding/; route through "
+                    "`repro.encoding.get_entropy_coder` (or compare "
+                    "against `DEFAULT_ENTROPY_CODER`)",
+                )
+            )
+        return out
