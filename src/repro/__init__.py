@@ -40,6 +40,7 @@ from repro.core import (
 )
 from repro.metrics import verify_bound
 from repro.obs import Collector
+from repro.tuning import autotune, estimate
 
 __all__ = [
     "Codec",
@@ -50,6 +51,7 @@ __all__ = [
     "SZConfig",
     "TiledReader",
     "TiledWriter",
+    "autotune",
     "compress",
     "compress_tiled",
     "compress_with_stats",
@@ -57,6 +59,7 @@ __all__ = [
     "decompress",
     "decompress_region",
     "decompress_tiled",
+    "estimate",
     "get_codec",
     "register_codec",
     "verify_bound",

@@ -168,6 +168,37 @@ class Codec(_NumcodecsBase):
         )
         return f"Codec({knobs})"
 
+    # -- estimation --------------------------------------------------------
+
+    def estimate(
+        self,
+        source: Any,
+        *,
+        fraction: float | None = None,
+        seed: int | None = None,
+        block_values: int | None = None,
+    ) -> Any:
+        """Predict what :meth:`encode` would achieve, from a small sample.
+
+        Runs the real quantize+entropy model over a deterministic block
+        sample of ``source`` (an array, ``.npy`` path, or container) and
+        returns the :class:`repro.tuning.Estimate` — predicted ratio
+        with a confidence interval, bit rate and expected quality —
+        without compressing the whole input.  ``fraction``/``seed``/
+        ``block_values`` override the codec config's sampling knobs
+        (``sample_fraction``/``sample_seed``/``sample_block``).
+        """
+        from repro.tuning import estimate as _estimate
+
+        with self._collecting():
+            return _estimate(
+                source,
+                self.config,
+                fraction=fraction,
+                seed=seed,
+                block_values=block_values,
+            )
+
     # -- tiled / streaming access -----------------------------------------
 
     def encode_tiled(

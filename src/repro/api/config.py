@@ -108,6 +108,14 @@ class SZConfig:
         tile picked at write time.
     workers
         Process-pool width for tiled compression.
+    sample_fraction, sample_seed, sample_block
+        Defaults for the :mod:`repro.tuning` estimator: the fraction of
+        the data sampled per estimate, the deterministic sampling seed
+        (a fixed seed makes estimates reproducible), and the target
+        element count of one sample block (``None`` picks a
+        near-isotropic ~4k-value block).  None of these affect the
+        compressed bytes — they only steer ``Codec.estimate`` /
+        ``repro-sz estimate`` / ``repro-sz tune``.
     """
 
     error_bound: ErrorBound
@@ -120,6 +128,9 @@ class SZConfig:
     lossless_post: bool = False
     tile_shape: int | tuple[int, ...] | None = field(default=None)
     workers: int = 1
+    sample_fraction: float = 0.02
+    sample_seed: int = 0
+    sample_block: int | None = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__  # frozen dataclass: bypass for coercion
@@ -129,6 +140,13 @@ class SZConfig:
         set_(self, "interval_bits", int(self.interval_bits))
         set_(self, "block_size", int(self.block_size))
         set_(self, "workers", int(self.workers))
+        set_(self, "sample_fraction", float(self.sample_fraction))
+        set_(self, "sample_seed", int(self.sample_seed))
+        set_(
+            self,
+            "sample_block",
+            None if self.sample_block is None else int(self.sample_block),
+        )
         set_(self, "theta", float(self.theta))
         set_(self, "adaptive", bool(self.adaptive))
         set_(self, "lossless_post", bool(self.lossless_post))
@@ -152,6 +170,18 @@ class SZConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if self.sample_seed < 0:
+            raise ValueError(
+                f"sample_seed must be >= 0, got {self.sample_seed}"
+            )
+        if self.sample_block is not None and self.sample_block < 1:
+            raise ValueError(
+                f"sample_block must be >= 1 or None, got {self.sample_block}"
+            )
 
     # -- construction ------------------------------------------------------
 
@@ -232,6 +262,9 @@ class SZConfig:
                 else self.tile_shape
             ),
             workers=self.workers,
+            sample_fraction=self.sample_fraction,
+            sample_seed=self.sample_seed,
+            sample_block=self.sample_block,
         )
         return out
 

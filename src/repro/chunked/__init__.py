@@ -21,6 +21,7 @@ from repro.chunked.format import (
     TiledHeader,
     TileEntry,
     TileGrid,
+    footer_features,
     is_tiled,
 )
 from repro.chunked.io import ByteAccountant
@@ -50,6 +51,7 @@ __all__ = [
     "decompress_region",
     "decompress_tiled",
     "default_tile_shape",
+    "footer_features",
     "is_tiled",
     "region_of_interest_cost",
     "tiled_container_info",

@@ -79,6 +79,7 @@ __all__ = [
     "ENTRY_BYTES",
     "MODED_ENTRY_BYTES",
     "entry_bytes",
+    "footer_features",
     "footer_summary",
 ]
 
@@ -295,44 +296,92 @@ def parse_index(
     return entries
 
 
+def footer_features(
+    entries: list[TileEntry], itemsize: int | None = None
+) -> dict[str, np.ndarray]:
+    """Per-tile histogram features as aligned arrays — no decompression.
+
+    This is the machine-facing counterpart of :func:`footer_summary`:
+    one ``float64``/``int64`` array per feature, index-aligned with the
+    tile grid (C order), derived purely from the footer index.  The
+    ratio-quality estimator (`repro.tuning`) and the ``trace``/``info``
+    commands both consume these; cost is proportional to ``n_tiles``,
+    never to the payload.
+
+    Returns ``length``, ``n_values``, ``n_unpredictable``,
+    ``mode_count``, ``nonzero_bins`` (``int64``) plus the derived rates
+    ``hit_rate``, ``mode_share``, ``outlier_rate`` (``float64``) and,
+    when the array ``itemsize`` is supplied, the per-tile
+    ``compression_factor``.
+    """
+    n = len(entries)
+    feats: dict[str, np.ndarray] = {
+        "length": np.fromiter(
+            (e.length for e in entries), dtype=np.int64, count=n
+        ),
+        "n_values": np.fromiter(
+            (e.n_values for e in entries), dtype=np.int64, count=n
+        ),
+        "n_unpredictable": np.fromiter(
+            (e.n_unpredictable for e in entries), dtype=np.int64, count=n
+        ),
+        "mode_count": np.fromiter(
+            (e.mode_count for e in entries), dtype=np.int64, count=n
+        ),
+        "nonzero_bins": np.fromiter(
+            (e.nonzero_bins for e in entries), dtype=np.int64, count=n
+        ),
+    }
+    denom = np.maximum(feats["n_values"], 1).astype(np.float64)
+    outlier = feats["n_unpredictable"].astype(np.float64) / denom
+    feats["outlier_rate"] = outlier
+    feats["hit_rate"] = 1.0 - outlier
+    feats["mode_share"] = feats["mode_count"].astype(np.float64) / denom
+    if itemsize is not None:
+        feats["compression_factor"] = (
+            feats["n_values"].astype(np.float64) * float(itemsize)
+        ) / np.maximum(feats["length"], 1).astype(np.float64)
+    return feats
+
+
 def footer_summary(entries: list[TileEntry]) -> dict[str, Any]:
     """Distribution summaries over the footer index — no decompression.
 
     Everything here derives from the per-tile quadruple the index
-    already stores, so the cost is proportional to ``n_tiles``, never to
-    the payload.  The ``*_hist`` keys are 10-bin counts over ``[0, 1]``
-    (rate quantities) used by ``info --json`` and the ``trace`` command
-    to show how tiles spread without listing every one.
+    already stores (via :func:`footer_features`), so the cost is
+    proportional to ``n_tiles``, never to the payload.  The ``*_hist``
+    keys are 10-bin counts over ``[0, 1]`` (rate quantities) used by
+    ``info --json`` and the ``trace`` command to show how tiles spread
+    without listing every one.
     """
     n = len(entries)
     if n == 0:
         return {"n_tiles": 0}
+    feats = footer_features(entries)
 
-    def _dist(values: list[float]) -> dict[str, float]:
+    def _dist(values: np.ndarray) -> dict[str, float]:
         return {
-            "min": min(values),
-            "mean": sum(values) / len(values),
-            "max": max(values),
+            "min": float(values.min()),
+            "mean": float(
+                values.sum(dtype=np.float64) / max(1, values.size)
+            ),
+            "max": float(values.max()),
         }
 
-    def _rate_hist(values: list[float]) -> list[int]:
-        counts = [0] * 10
-        for v in values:
-            counts[min(9, max(0, int(v * 10)))] += 1
-        return counts
+    def _rate_hist(values: np.ndarray) -> list[int]:
+        bins = np.clip((values * 10).astype(np.int64), 0, 9)
+        return [int(c) for c in np.bincount(bins, minlength=10)]
 
-    hit_rates = [e.hit_rate for e in entries]
-    mode_shares = [e.mode_share for e in entries]
     return {
         "n_tiles": n,
-        "n_values": sum(e.n_values for e in entries),
-        "n_unpredictable": sum(e.n_unpredictable for e in entries),
-        "payload_bytes": sum(e.length for e in entries),
-        "hit_rate": _dist(hit_rates),
-        "hit_rate_hist": _rate_hist(hit_rates),
-        "mode_share": _dist(mode_shares),
-        "mode_share_hist": _rate_hist(mode_shares),
-        "nonzero_bins": _dist([float(e.nonzero_bins) for e in entries]),
+        "n_values": int(feats["n_values"].sum(dtype=np.int64)),
+        "n_unpredictable": int(feats["n_unpredictable"].sum(dtype=np.int64)),
+        "payload_bytes": int(feats["length"].sum(dtype=np.int64)),
+        "hit_rate": _dist(feats["hit_rate"]),
+        "hit_rate_hist": _rate_hist(feats["hit_rate"]),
+        "mode_share": _dist(feats["mode_share"]),
+        "mode_share_hist": _rate_hist(feats["mode_share"]),
+        "nonzero_bins": _dist(feats["nonzero_bins"].astype(np.float64)),
     }
 
 

@@ -23,9 +23,23 @@ Subcommands
     Pretty-print container metadata for v1 and tiled v2 containers;
     ``--json`` emits a machine-readable report including the
     reconstructed :class:`repro.api.SZConfig` (``SZConfig.to_dict()``).
+``estimate SOURCE [--mode M --bound X] [--fraction F --seed S]``
+    Predict the compression ratio (with a confidence interval) and the
+    expected quality for a configuration *without* compressing the
+    whole input (see :mod:`repro.tuning`).  ``SOURCE`` is a ``.npy``
+    file or a container; on a tiled container with no ``--mode`` the
+    footer index answers exactly, without decompressing anything.
+``tune SOURCE (--target-ratio R | --target-psnr DB) [--rtol T]``
+    Search the error-bound knob for the configuration whose *predicted*
+    outcome hits the target, via monotone bisection over sample-based
+    estimates; prints every trial.  On a container the search starts
+    from the recorded mode/bound.  ``--verify`` compresses once with
+    the winning config and reports the actual ratio/PSNR.
 ``bench [--scale tiny|small|large] [--out BENCH_micro.json]``
     Run the perf micro-benchmark sweep (see :mod:`repro.perf.bench`)
     and write the schema-versioned stage-breakdown report.
+    ``--cases sweep,estimate`` adds estimator-vs-full-compression
+    speedup/accuracy cases to the report.
 ``trace FILE [--chrome OUT.json]``
     Summarize telemetry.  On a ``--trace`` run report (``repro-obs/1``
     JSON): print the span/metric summary, optionally converting to a
@@ -78,8 +92,13 @@ def _config_from_info(info: dict) -> dict | None:
     Containers record the error-bound request and the prediction/
     quantization settings but not every encoder knob (e.g. the Huffman
     ``block_size`` lives in the stream, not the header), so the result
-    carries defaults there; ``None`` when no valid config can be built
-    (e.g. a constant container whose recorded bound is 0).
+    carries defaults there; ``None`` when no valid config can be built.
+
+    Constant containers record the *requested* mode and bound in the
+    header (``mode``/``mode_param``) while their resolved ``eb_abs`` is
+    0, so the reconstruction prefers the recorded request over the
+    (useless) resolved bound — this is what lets ``repro-sz tune`` and
+    :func:`repro.tuning.autotune` seed a search from any existing file.
     """
     try:
         mode = info.get("mode", "abs")
@@ -91,6 +110,8 @@ def _config_from_info(info: dict) -> dict | None:
                 spec["abs_bound"] = info["abs_bound"]
         elif info.get("abs_bound") is not None:
             spec = {"mode": "abs", "bound": info["abs_bound"]}
+        elif info.get("mode_param"):
+            spec = {"mode": mode, "bound": info["mode_param"]}
         else:
             spec = {"mode": "abs", "bound": info["eb_abs"]}
         knobs = {}
@@ -319,10 +340,12 @@ def _cmd_info(args) -> int:
 
 def _print_footer_summary(path: str) -> int:
     """Tile-distribution summary straight from a tiled container's footer."""
+    from repro.chunked.format import footer_features
     from repro.chunked.streams import TiledReader
 
     with TiledReader(path) as reader:
         info = reader.info()
+        feats = footer_features(reader.entries, itemsize=reader.dtype.itemsize)
     summary = info["tile_summary"]
     print(f"{path}: {info['format']}, {summary['n_tiles']} tiles")
     for key in ("n_values", "n_unpredictable", "payload_bytes"):
@@ -333,9 +356,111 @@ def _print_footer_summary(path: str) -> int:
             f"{key:18s} min {d['min']:.4g}  mean {d['mean']:.4g}  "
             f"max {d['max']:.4g}"
         )
+    cf = feats["compression_factor"]
+    print(
+        f"{'tile CF':18s} min {cf.min():.4g}  "
+        f"mean {cf.sum(dtype=np.float64) / max(1, cf.size):.4g}  "
+        f"max {cf.max():.4g}"
+    )
     print(f"{'hit-rate hist':18s} {summary['hit_rate_hist']}")
     print(f"{'mode-share hist':18s} {summary['mode_share_hist']}")
     return 0
+
+
+def _tuning_config(args) -> "SZConfig | None":
+    """Build the optional explicit config for ``estimate``/``tune``.
+
+    ``None`` when the user gave no ``--mode``/``--bound`` — the tuning
+    layer then reads the config out of a container header, or the
+    caller falls back to the default relative bound for raw arrays.
+    """
+    if (args.mode is None) != (args.bound is None):
+        raise SystemExit("--mode and --bound go together")
+    if args.mode is None:
+        return None
+    return SZConfig.from_kwargs(mode=args.mode, bound=args.bound)
+
+
+def _cmd_estimate(args) -> int:
+    from repro.tuning import estimate
+
+    config = _tuning_config(args)
+    if config is None:
+        with open(args.input, "rb") as fh:
+            if fh.read(4) != b"SZRT":
+                # Raw arrays (and v1 containers) need a configuration to
+                # estimate under; mirror `compress`'s default bound.
+                config = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+    run, finish = _traced(args)
+    with run:
+        est = estimate(
+            args.input, config, fraction=args.fraction, seed=args.seed
+        )
+    finish()
+    if args.json:
+        json.dump(_json_safe(est.to_dict()), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+        return 0
+    ratio = f"{est.ratio:.3f} [{est.ratio_low:.3f}, {est.ratio_high:.3f}]"
+    print(f"{args.input}: mode {est.mode}, bound {est.bound:g} "
+          f"({est.method})")
+    print(f"{'predicted ratio':18s} {ratio}")
+    print(f"{'bit rate':18s} {est.bit_rate:.3f} bits/value")
+    print(f"{'predicted bytes':18s} {est.predicted_bytes} "
+          f"(of {est.original_bytes})")
+    if est.psnr is not None:
+        print(f"{'expected psnr':18s} {est.psnr:.2f} dB")
+    if est.max_abs_error is not None:
+        print(f"{'max abs error':18s} {est.max_abs_error:.3g}")
+    if est.max_pw_rel_error is not None:
+        print(f"{'max pw-rel error':18s} {est.max_pw_rel_error:.3g}")
+    print(f"{'sampled':18s} {est.n_values_sampled}/{est.n_values_total} "
+          f"values in {est.n_blocks} blocks "
+          f"({est.sample_fraction:.2%}, seed {est.seed}) "
+          f"in {est.seconds:.3f}s")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.tuning import autotune
+
+    run, finish = _traced(args)
+    with run:
+        result = autotune(
+            args.input,
+            target_ratio=args.target_ratio,
+            target_psnr=args.target_psnr,
+            config=_tuning_config(args),
+            fraction=args.fraction,
+            seed=args.seed,
+            rtol=args.rtol,
+            max_trials=args.max_trials,
+            verify=args.verify,
+        )
+    finish()
+    if args.json:
+        json.dump(_json_safe(result.to_dict()), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+        return 0 if result.converged else 1
+    for i, trial in enumerate(result.trials):
+        eb = trial.config.error_bound
+        print(f"trial {i:2d}  {eb.mode}={eb.param:<12.6g} "
+              f"predicted {trial.target_kind.replace('_', ' ')} "
+              f"{trial.predicted:.4g}")
+    eb = result.config.error_bound
+    status = "converged" if result.converged else "NOT converged"
+    print(f"{status} in {len(result.trials)} trials ({result.seconds:.3f}s): "
+          f"--mode {eb.mode} --bound {eb.param:g}")
+    print(f"{'target':18s} {result.target_kind} = {result.target_value:g}")
+    print(f"{'predicted':18s} {result.predicted:.4g} "
+          f"(miss {result.relative_miss:+.2%}, rtol {result.rtol:.0%})")
+    if result.actual_ratio is not None:
+        print(f"{'actual ratio':18s} {result.actual_ratio:.4g}")
+    if result.actual_psnr is not None:
+        print(f"{'actual psnr':18s} {result.actual_psnr:.2f} dB")
+    return 0 if result.converged else 1
 
 
 def _cmd_trace(args) -> int:
@@ -375,6 +500,8 @@ def _cmd_bench(args) -> int:
         argv += ["--only", args.only]
     if args.modes:
         argv += ["--modes", args.modes]
+    if args.cases:
+        argv += ["--cases", args.cases]
     if args.trace:
         argv += ["--trace", args.trace]
     return bench_main(argv)
@@ -454,6 +581,70 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_d.set_defaults(func=_cmd_decompress)
 
+    p_e = sub.add_parser(
+        "estimate",
+        help="predict ratio/quality from a sample, without compressing",
+    )
+    p_e.add_argument("input", help=".npy file or container")
+    p_e.add_argument(
+        "--mode", default=None, choices=["abs", "rel", "pw_rel", "psnr"],
+        help="error-bound mode to estimate under (requires --bound); "
+             "defaults to a tiled container's own config, else rel 1e-4",
+    )
+    p_e.add_argument("--bound", type=float, default=None,
+                     help="mode parameter for --mode")
+    p_e.add_argument(
+        "--fraction", type=float, default=None,
+        help="sampled fraction of the input (default: config's "
+             "sample_fraction, 0.02)",
+    )
+    p_e.add_argument("--seed", type=int, default=None,
+                     help="sampling seed (default: config's sample_seed)")
+    p_e.add_argument("--json", action="store_true",
+                     help="emit the full Estimate record as JSON")
+    p_e.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record spans/metrics and write a repro-obs/1 run report",
+    )
+    p_e.set_defaults(func=_cmd_estimate)
+
+    p_u = sub.add_parser(
+        "tune",
+        help="search the error bound for a target ratio or PSNR",
+    )
+    p_u.add_argument("input", help=".npy file or container")
+    group = p_u.add_mutually_exclusive_group(required=True)
+    group.add_argument("--target-ratio", type=float, default=None,
+                       help="compression factor to hit")
+    group.add_argument("--target-psnr", type=float, default=None,
+                       help="quality (dB) to hit")
+    p_u.add_argument(
+        "--mode", default=None, choices=["abs", "rel", "pw_rel", "psnr"],
+        help="mode whose bound is swept (requires --bound); defaults to "
+             "a tiled container's own config, else rel 1e-4",
+    )
+    p_u.add_argument("--bound", type=float, default=None,
+                     help="starting bound for --mode")
+    p_u.add_argument("--fraction", type=float, default=None,
+                     help="sampled fraction per trial")
+    p_u.add_argument("--seed", type=int, default=None, help="sampling seed")
+    p_u.add_argument("--rtol", type=float, default=0.05,
+                     help="relative convergence tolerance (default 0.05)")
+    p_u.add_argument("--max-trials", type=int, default=24,
+                     help="probe budget (default 24)")
+    p_u.add_argument(
+        "--verify", action="store_true",
+        help="compress once with the winning config and report the "
+             "actual ratio/PSNR",
+    )
+    p_u.add_argument("--json", action="store_true",
+                     help="emit the full TuneResult (all trials) as JSON")
+    p_u.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="record spans/metrics and write a repro-obs/1 run report",
+    )
+    p_u.set_defaults(func=_cmd_tune)
+
     p_i = sub.add_parser("info", help="inspect a container (v1 or tiled v2)")
     p_i.add_argument("input")
     p_i.add_argument(
@@ -473,6 +664,12 @@ def main(argv: list[str] | None = None) -> int:
                      help="comma-separated case names (e.g. 3d-f32-rel)")
     p_b.add_argument("--modes", default=None,
                      help="comma-separated modes (abs,rel,pw_rel,psnr)")
+    p_b.add_argument(
+        "--cases", default=None,
+        help="comma-separated case kinds: sweep, estimate "
+             "(default sweep; estimate adds sampled-estimator "
+             "speedup/accuracy cases)",
+    )
     p_b.add_argument("--out", default="BENCH_micro.json")
     p_b.add_argument(
         "--trace", default=None, metavar="OUT.json",

@@ -85,8 +85,18 @@ class Header:
 
     @property
     def is_moded(self) -> bool:
-        """True when the container needs the mode-tagged v2 layout."""
-        return self.mode in MODED_MODES
+        """True when the container needs the mode-tagged v2 layout.
+
+        ``pw_rel``/``psnr`` always — decoding needs the mode.  Constant
+        containers opt in whenever the request carried a parameter:
+        their resolved ``eb_abs`` can degenerate to 0 (a rel bound on a
+        zero-range field), so the tag is the only surviving record of
+        the requested mode/bound — which ``info --json`` reports and
+        the auto-tuner seeds its search from.
+        """
+        return self.mode in MODED_MODES or (
+            self.is_constant and self.mode_param > 0.0
+        )
 
 
 def _f64_bits(x: float) -> int:

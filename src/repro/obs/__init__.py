@@ -29,6 +29,13 @@ the block-parallel decoder; ``huffman/table_cache_hits`` /
 cache (keyed by the canonical lengths array — tiled reads share tables
 across tiles); ``tiled/reads`` / ``tiled/bytes_read`` account container
 byte traffic per run.
+
+The tuning layer (:mod:`repro.tuning`) reports under its own prefixes:
+``estimate/calls``, ``estimate/sampled_values``, ``estimate/
+predicted_cf`` and ``estimate/seconds`` describe each sampled
+estimation (with an ``estimate`` span around the whole pass), and
+``tune/calls``, ``tune/trials``, ``tune/relative_miss`` summarize every
+auto-tuner search (a ``tune`` span wraps the trial sequence).
 """
 
 from repro.obs.export import (

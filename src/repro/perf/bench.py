@@ -59,6 +59,8 @@ SCALES: dict[str, dict[int, tuple[int, ...]]] = {
 _DTYPES = {"float32": np.float32, "float64": np.float64}
 _DEFAULT_MODES = ("abs", "rel")
 _ALL_MODES = ("abs", "rel", "pw_rel", "psnr")
+_DEFAULT_KINDS = ("sweep",)
+_ALL_KINDS = ("sweep", "estimate")
 
 
 def synth_field(shape: tuple[int, ...], dtype: str, seed: int = 0) -> np.ndarray:
@@ -196,6 +198,60 @@ def _run_case(
     }
 
 
+def _run_estimate_case(
+    name: str,
+    dtype: str,
+    shape: tuple[int, ...],
+    mode: str,
+    repeats: int,
+) -> dict[str, Any]:
+    """Sampled estimation vs. full compression on one bench field.
+
+    Records the accuracy (predicted ratio vs. the true ratio of a real
+    compression) and the wall-clock speedup of :func:`repro.tuning.
+    estimate` — the numbers the README's estimation section quotes and
+    the CI smoke asserts on.
+    """
+    from repro.core.compressor import compress_array
+    from repro.tuning import estimate
+
+    field = synth_field(shape, dtype, seed=len(shape))
+    config = _mode_config(mode)
+    # warm-up both paths: plan caches, first-touch allocations.
+    blob, _ = compress_array(field, config)
+    est = estimate(field, config)
+    c_times: list[float] = []
+    e_times: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        blob, _ = compress_array(field, config)
+        c_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        est = estimate(field, config)
+        e_times.append(time.perf_counter() - t0)
+    actual = field.nbytes / max(1, len(blob))
+    c_sec = _median(c_times)
+    e_sec = _median(e_times)
+    return {
+        "name": name,
+        "dtype": dtype,
+        "ndim": len(shape),
+        "shape": list(shape),
+        "mode": mode,
+        "n_bytes": int(field.nbytes),
+        "actual_ratio": actual,
+        "predicted_ratio": est.ratio,
+        "predicted_ratio_low": est.ratio_low,
+        "predicted_ratio_high": est.ratio_high,
+        "rel_err": est.ratio / actual - 1.0,
+        "sample_fraction": est.sample_fraction,
+        "n_blocks": est.n_blocks,
+        "compress_seconds": c_sec,
+        "estimate_seconds": e_sec,
+        "speedup": c_sec / max(e_sec, 1e-12),
+    }
+
+
 def bench_report(
     scale: str = "tiny",
     repeats: int = 3,
@@ -204,28 +260,43 @@ def bench_report(
     dims: tuple[int, ...] = (1, 2, 3),
     only: tuple[str, ...] | None = None,
     workers: int = 1,
+    kinds: tuple[str, ...] = _DEFAULT_KINDS,
 ) -> dict[str, Any]:
-    """Run the sweep and return the report dict (see :data:`SCHEMA`)."""
+    """Run the sweep and return the report dict (see :data:`SCHEMA`).
+
+    ``kinds`` selects the case families: ``"sweep"`` is the classic
+    compress/decompress stage breakdown; ``"estimate"`` adds 3-D
+    estimator accuracy/speedup cases under ``estimate_cases``.
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     for m in modes:
         if m not in _ALL_MODES:
             raise ValueError(f"unknown mode {m!r}; choose from {_ALL_MODES}")
+    for kind in kinds:
+        if kind not in _ALL_KINDS:
+            raise ValueError(f"unknown kind {kind!r}; choose from {_ALL_KINDS}")
+    if not kinds:
+        raise ValueError("kinds must name at least one case family")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     if workers < 1:
         raise ValueError("workers must be >= 1")
     cases: list[dict[str, Any]] = []
-    for dtype in dtypes:
-        for ndim in dims:
-            for mode in modes:
-                name = f"{ndim}d-{'f32' if dtype == 'float32' else 'f64'}-{mode}"
-                if only is not None and name not in only:
-                    continue
-                shape = SCALES[scale][ndim]
-                cases.append(
-                    _run_case(name, dtype, shape, mode, repeats, workers)
-                )
+    if "sweep" in kinds:
+        for dtype in dtypes:
+            for ndim in dims:
+                for mode in modes:
+                    name = (
+                        f"{ndim}d-{'f32' if dtype == 'float32' else 'f64'}"
+                        f"-{mode}"
+                    )
+                    if only is not None and name not in only:
+                        continue
+                    shape = SCALES[scale][ndim]
+                    cases.append(
+                        _run_case(name, dtype, shape, mode, repeats, workers)
+                    )
     report: dict[str, Any] = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -236,6 +307,16 @@ def bench_report(
         "calibration_seconds": calibrate(),
         "cases": cases,
     }
+    if "estimate" in kinds:
+        # The estimator's value shows on the 3-D fields (the paper's
+        # target workload); f32 keeps the family small and comparable.
+        report["estimate_cases"] = [
+            _run_estimate_case(
+                f"3d-f32-{mode}-estimate", "float32", SCALES[scale][3],
+                mode, repeats,
+            )
+            for mode in modes
+        ]
     validate_report(report)
     return report
 
@@ -264,6 +345,19 @@ _REQUIRED_CASE = (
 )
 _REQUIRED_SIDE = ("seconds", "mb_per_s", "stages")
 _REQUIRED_STAGE = ("calls", "seconds", "bytes", "mb_per_s")
+_REQUIRED_ESTIMATE_CASE = (
+    "name",
+    "dtype",
+    "ndim",
+    "shape",
+    "mode",
+    "actual_ratio",
+    "predicted_ratio",
+    "rel_err",
+    "compress_seconds",
+    "estimate_seconds",
+    "speedup",
+)
 
 
 def validate_report(report: dict[str, Any]) -> None:
@@ -277,7 +371,22 @@ def validate_report(report: dict[str, Any]) -> None:
     for key in _REQUIRED_TOP:
         if key not in report:
             raise ValueError(f"bench report missing required key {key!r}")
-    if not isinstance(report["cases"], list) or not report["cases"]:
+    if not isinstance(report["cases"], list):
+        raise ValueError("bench report cases must be a list")
+    # ``estimate_cases`` is an optional family (reports predating it and
+    # estimate-only runs both validate); when present it must be
+    # well-formed, and at least one family must be non-empty.
+    est_cases = report.get("estimate_cases", [])
+    if not isinstance(est_cases, list):
+        raise ValueError("bench report estimate_cases must be a list")
+    for case in est_cases:
+        for key in _REQUIRED_ESTIMATE_CASE:
+            if key not in case:
+                raise ValueError(
+                    f"estimate case {case.get('name', '?')!r} "
+                    f"missing key {key!r}"
+                )
+    if not report["cases"] and not est_cases:
         raise ValueError("bench report has no cases")
     for case in report["cases"]:
         for key in _REQUIRED_CASE:
@@ -322,6 +431,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated case names to run (e.g. 3d-f32-rel)",
     )
+    parser.add_argument(
+        "--cases",
+        default=",".join(_DEFAULT_KINDS),
+        help=f"comma-separated case families from {_ALL_KINDS}: "
+             "'sweep' is the stage-breakdown matrix, 'estimate' the "
+             "sampled-estimator accuracy/speedup cases",
+    )
     parser.add_argument("--out", default="BENCH_micro.json")
     parser.add_argument(
         "--workers",
@@ -352,6 +468,7 @@ def main(argv: list[str] | None = None) -> int:
             modes=tuple(m for m in args.modes.split(",") if m),
             only=tuple(args.only.split(",")) if args.only else None,
             workers=args.workers,
+            kinds=tuple(k for k in args.cases.split(",") if k),
         )
     finally:
         if collector is not None:
@@ -370,7 +487,15 @@ def main(argv: list[str] | None = None) -> int:
             f"  decompress {case['decompress']['mb_per_s']:8.2f} MB/s"
             f"  CF {case['compression_factor']:6.2f}"
         )
-    print(f"wrote {args.out} ({len(report['cases'])} cases, scale {args.scale})")
+    for case in report.get("estimate_cases", []):
+        print(
+            f"{case['name']:20s} actual CF {case['actual_ratio']:7.2f}"
+            f"  predicted {case['predicted_ratio']:7.2f}"
+            f"  err {case['rel_err']:+7.2%}"
+            f"  speedup {case['speedup']:6.1f}x"
+        )
+    n_cases = len(report["cases"]) + len(report.get("estimate_cases", []))
+    print(f"wrote {args.out} ({n_cases} cases, scale {args.scale})")
     return 0
 
 

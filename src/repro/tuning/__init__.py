@@ -1,0 +1,53 @@
+"""`repro.tuning` — sample-based ratio/quality estimation + auto-tuning.
+
+The interactive counterpart of the compressor: predict what a
+configuration *would* do (:func:`estimate`) and search for the
+configuration that hits a target (:func:`autotune`), both from a small
+deterministic sample instead of full recompression.
+
+>>> import numpy as np
+>>> from repro.api import SZConfig
+>>> from repro.tuning import autotune, estimate
+>>> data = np.sin(np.linspace(0, 60, 1 << 15)).astype(np.float32)
+>>> est = estimate(data, SZConfig.from_kwargs(mode="rel", bound=1e-4))
+>>> est.method
+'sampled'
+>>> result = autotune(data, target_ratio=est.ratio, rtol=0.2)
+>>> result.converged
+True
+"""
+
+from typing import Any
+
+from repro.tuning.estimator import Estimate, estimate
+from repro.tuning.sampler import Sample, draw_sample
+from repro.tuning.tuner import (
+    Trial,
+    TuneResult,
+    autotune,
+    config_from_container,
+)
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy on purpose: the validation harness pulls in the synthetic
+    # dataset generators, and an eager import would also make
+    # ``python -m repro.tuning.validation`` warn about the module being
+    # found in sys.modules before runpy executes it.
+    if name == "validate_accuracy":
+        from repro.tuning.validation import validate_accuracy
+
+        return validate_accuracy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Estimate",
+    "Sample",
+    "Trial",
+    "TuneResult",
+    "autotune",
+    "config_from_container",
+    "draw_sample",
+    "estimate",
+    "validate_accuracy",
+]

@@ -1,0 +1,171 @@
+"""Estimator-accuracy validation harness.
+
+Sweeps the estimator against ground truth over a synthetic corpus that
+spans the regimes where a prediction-based compressor behaves
+differently — smooth fields (high hit rate, tight histograms),
+turbulent fields (broad histograms, outliers) and sparse fields (mode
+collapse, pw_rel flag planes) — across both dtypes and the three
+deterministic bound modes.  For every case the field is compressed for
+real once, estimated once, and the relative ratio error recorded; the
+report states whether every case landed inside the accuracy envelope.
+
+Run directly (CI does)::
+
+    python -m repro.tuning.validation --scale tiny --envelope 0.15
+
+Exit status 1 when any case breaches the envelope, so the suite works
+as a regression gate for the ratio model itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.fields import (
+    gaussian_random_field,
+    ridged_field,
+    sparse_patches,
+)
+
+__all__ = ["ENVELOPE", "corpus", "validate_accuracy", "main"]
+
+#: Default relative-error envelope asserted on |predicted/actual - 1|.
+#: The estimator is typically within a few percent (see README table);
+#: 15% leaves room for the hardest sparse/pw_rel corners while still
+#: catching any real model regression.
+ENVELOPE = 0.15
+
+_SCALE_SHAPES = {
+    "tiny": (24, 32, 32),
+    "small": (48, 64, 64),
+    "large": (96, 128, 128),
+}
+_MODES: tuple[tuple[str, float], ...] = (
+    ("abs", 1e-3),
+    ("rel", 1e-4),
+    ("pw_rel", 1e-3),
+)
+_DTYPES = ("float32", "float64")
+
+
+def corpus(
+    scale: str = "tiny", seed: int = 7
+) -> list[tuple[str, np.ndarray]]:
+    """The named synthetic fields, as float64 (cast per case later)."""
+    shape = _SCALE_SHAPES[scale]
+    return [
+        ("smooth", gaussian_random_field(shape, beta=3.5, seed=seed)),
+        ("turbulent", ridged_field(shape, beta=1.5, seed=seed + 1)),
+        ("sparse", sparse_patches(shape, coverage=0.15, seed=seed + 2)),
+    ]
+
+
+def validate_accuracy(
+    scale: str = "tiny",
+    fraction: float = 0.05,
+    seed: int = 0,
+    envelope: float = ENVELOPE,
+    modes: tuple[tuple[str, float], ...] = _MODES,
+    dtypes: tuple[str, ...] = _DTYPES,
+) -> dict[str, Any]:
+    """Predicted-vs-actual sweep; returns the accuracy report dict."""
+    from repro.api.config import SZConfig
+    from repro.core.compressor import compress_array
+    from repro.tuning.estimator import estimate
+
+    cases: list[dict[str, Any]] = []
+    for field_name, field64 in corpus(scale):
+        for dtype in dtypes:
+            data = field64.astype(dtype)
+            for mode, bound in modes:
+                config = SZConfig.from_kwargs(
+                    mode=mode, bound=bound, sample_fraction=fraction,
+                    sample_seed=seed,
+                )
+                t0 = time.perf_counter()
+                blob, _ = compress_array(data, config)
+                t_full = time.perf_counter() - t0
+                actual = data.nbytes / max(1, len(blob))
+                est = estimate(data, config)
+                rel_err = est.ratio / actual - 1.0
+                cases.append(
+                    {
+                        "field": field_name,
+                        "dtype": dtype,
+                        "mode": mode,
+                        "bound": bound,
+                        "actual_ratio": actual,
+                        "predicted_ratio": est.ratio,
+                        "ratio_low": est.ratio_low,
+                        "ratio_high": est.ratio_high,
+                        "rel_err": rel_err,
+                        "within_envelope": abs(rel_err) <= envelope,
+                        "sample_fraction": est.sample_fraction,
+                        "n_blocks": est.n_blocks,
+                        "estimate_seconds": est.seconds,
+                        "compress_seconds": t_full,
+                        "speedup": t_full / max(est.seconds, 1e-12),
+                    }
+                )
+    errs = np.array([abs(c["rel_err"]) for c in cases], dtype=np.float64)
+    return {
+        "schema": "repro-tuning-accuracy/1",
+        "scale": scale,
+        "fraction": fraction,
+        "seed": seed,
+        "envelope": envelope,
+        "n_cases": len(cases),
+        "max_abs_rel_err": float(errs.max()),
+        "mean_abs_rel_err": float(
+            errs.sum(dtype=np.float64) / max(1, errs.size)
+        ),
+        "all_within_envelope": bool(all(c["within_envelope"] for c in cases)),
+        "cases": cases,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning.validation",
+        description="validate estimator accuracy against ground truth",
+    )
+    parser.add_argument(
+        "--scale", default="tiny", choices=sorted(_SCALE_SHAPES)
+    )
+    parser.add_argument("--fraction", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--envelope", type=float, default=ENVELOPE)
+    parser.add_argument("--out", default=None, metavar="REPORT.json")
+    args = parser.parse_args(argv)
+    report = validate_accuracy(
+        scale=args.scale, fraction=args.fraction, seed=args.seed,
+        envelope=args.envelope,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    for c in report["cases"]:
+        flag = "ok " if c["within_envelope"] else "FAIL"
+        print(
+            f"{flag} {c['field']:10s} {c['dtype']:8s} {c['mode']:6s} "
+            f"actual={c['actual_ratio']:8.3f} "
+            f"predicted={c['predicted_ratio']:8.3f} "
+            f"err={c['rel_err']:+7.2%} speedup={c['speedup']:6.1f}x"
+        )
+    print(
+        f"{report['n_cases']} cases, max |rel err| "
+        f"{report['max_abs_rel_err']:.2%} "
+        f"(envelope {report['envelope']:.0%})"
+    )
+    return 0 if report["all_within_envelope"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

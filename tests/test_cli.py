@@ -320,3 +320,117 @@ class TestAblation:
         for mode in ("abs", "rel", "pw_rel", "psnr"):
             assert mode in out
         assert "bound_held" in out and "False" not in out
+
+
+class TestEstimateCli:
+    def test_estimate_npy(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        assert main(["estimate", str(src), "--mode", "rel",
+                     "--bound", "1e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted ratio" in out and "sampled" in out
+
+    def test_estimate_json_matches_real_ratio(self, tmp_path, capsys, smooth2d):
+        import json as _json
+
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.sz"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--mode", "rel",
+              "--bound", "1e-3"])
+        capsys.readouterr()
+        assert main(["estimate", str(src), "--mode", "rel", "--bound", "1e-3",
+                     "--fraction", "0.3", "--json"]) == 0
+        est = _json.loads(capsys.readouterr().out)
+        actual = smooth2d.nbytes / comp.stat().st_size
+        assert est["method"] == "sampled"
+        assert abs(est["ratio"] / actual - 1.0) <= 0.15
+        assert est["ratio_low"] <= est["ratio"] <= est["ratio_high"]
+
+    def test_estimate_container_as_is(self, tmp_path, capsys, smooth2d):
+        import json as _json
+
+        src = tmp_path / "f.npy"
+        comp = tmp_path / "f.szt"
+        np.save(src, smooth2d)
+        main(["compress", str(src), str(comp), "--mode", "rel",
+              "--bound", "1e-3", "--tile", "16"])
+        capsys.readouterr()
+        assert main(["estimate", str(comp), "--json"]) == 0
+        est = _json.loads(capsys.readouterr().out)
+        assert est["method"] == "footer"
+        assert est["ratio"] == pytest.approx(
+            smooth2d.nbytes / comp.stat().st_size
+        )
+
+    def test_estimate_mode_requires_bound(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit):
+            main(["estimate", str(src), "--mode", "rel"])
+
+
+class TestTuneCli:
+    def test_tune_hits_target_ratio(self, tmp_path, capsys, smooth2d):
+        import json as _json
+
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        assert main(["tune", str(src), "--target-ratio", "6",
+                     "--fraction", "0.3", "--verify", "--json"]) == 0
+        rep = _json.loads(capsys.readouterr().out)
+        assert rep["converged"] is True
+        assert rep["actual_ratio"] is not None
+        assert abs(rep["actual_ratio"] / 6.0 - 1.0) <= 0.10
+        assert rep["n_trials"] == len(rep["trials"]) >= 1
+
+    def test_tune_prints_trials(self, tmp_path, capsys, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        assert main(["tune", str(src), "--target-ratio", "6",
+                     "--fraction", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "trial" in out and "converged" in out
+
+    def test_tune_requires_exactly_one_target(self, tmp_path, smooth2d):
+        src = tmp_path / "f.npy"
+        np.save(src, smooth2d)
+        with pytest.raises(SystemExit):
+            main(["tune", str(src)])
+        with pytest.raises(SystemExit):
+            main(["tune", str(src), "--target-ratio", "6",
+                  "--target-psnr", "60"])
+
+
+class TestConstantContainerInfo:
+    def test_info_json_constant_keeps_config(self, tmp_path, capsys):
+        """A constant field's container must still report the requested
+        mode/bound so the tuner can seed a search from it."""
+        import json as _json
+
+        data = np.full((64, 64), 2.5, dtype=np.float32)
+        src = tmp_path / "c.npy"
+        comp = tmp_path / "c.sz"
+        np.save(src, data)
+        main(["compress", str(src), str(comp), "--mode", "rel",
+              "--bound", "1e-3"])
+        capsys.readouterr()
+        assert main(["info", "--json", str(comp)]) == 0
+        report = _json.loads(capsys.readouterr().out)
+        assert report["constant"] is True
+        from repro.api import SZConfig
+
+        cfg = SZConfig.from_dict(report["config"])
+        assert cfg.mode == "rel" and cfg.bound == 1e-3
+
+    def test_constant_roundtrip_still_exact(self, tmp_path, capsys):
+        data = np.full((48, 32), -1.5, dtype=np.float64)
+        src = tmp_path / "c.npy"
+        comp = tmp_path / "c.sz"
+        dst = tmp_path / "c_out.npy"
+        np.save(src, data)
+        main(["compress", str(src), str(comp), "--mode", "rel",
+              "--bound", "1e-3"])
+        assert main(["decompress", str(comp), str(dst)]) == 0
+        np.testing.assert_array_equal(np.load(dst), data)

@@ -21,6 +21,7 @@ REPRO_ALL = [
     "SZConfig",
     "TiledReader",
     "TiledWriter",
+    "autotune",
     "compress",
     "compress_tiled",
     "compress_with_stats",
@@ -28,6 +29,7 @@ REPRO_ALL = [
     "decompress",
     "decompress_region",
     "decompress_tiled",
+    "estimate",
     "get_codec",
     "register_codec",
     "verify_bound",

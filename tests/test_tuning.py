@@ -1,0 +1,280 @@
+"""Tests for repro.tuning: sampler, estimator, and auto-tuner.
+
+The subsystem's contract has three legs, each pinned here:
+
+* **determinism** — the same ``(source, fraction, seed)`` request always
+  selects the same blocks and produces the identical estimate/tune
+  trace;
+* **accuracy** — predicted ratios track real compression within the
+  documented envelope (the full corpus runs in
+  ``python -m repro.tuning.validation``; a trimmed sweep runs here);
+* **convergence** — the tuner lands within its tolerance of reachable
+  targets, because the ratio-vs-bound curve it searches is monotone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import Codec, SZConfig
+from repro.chunked.tiled import compress_tiled
+from repro.core.compressor import compress_array
+from repro.datasets.fields import (
+    gaussian_random_field,
+    ridged_field,
+    sparse_patches,
+)
+from repro.tuning import autotune, config_from_container, estimate
+from repro.tuning.estimator import _assembly_plan, _grid_dims, _plane_count
+from repro.tuning.sampler import draw_sample
+from repro.tuning.validation import ENVELOPE
+
+SHAPE = (24, 32, 32)
+
+
+@pytest.fixture(scope="module")
+def smooth3d() -> np.ndarray:
+    return gaussian_random_field(SHAPE, beta=3.5, seed=7).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def turbulent3d() -> np.ndarray:
+    return ridged_field(SHAPE, beta=1.5, seed=8).astype(np.float32)
+
+
+class TestSampler:
+    def test_same_seed_same_blocks(self, smooth3d):
+        a = draw_sample(smooth3d, fraction=0.1, seed=3)
+        b = draw_sample(smooth3d, fraction=0.1, seed=3)
+        assert a.block_indices == b.block_indices
+        for x, y in zip(a.blocks, b.blocks):
+            np.testing.assert_array_equal(x, y)
+
+    def test_different_seed_different_blocks(self, smooth3d):
+        a = draw_sample(smooth3d, fraction=0.1, seed=3)
+        b = draw_sample(smooth3d, fraction=0.1, seed=4)
+        assert a.block_indices != b.block_indices
+
+    def test_at_least_two_blocks(self, smooth3d):
+        s = draw_sample(smooth3d, fraction=1e-9, seed=0)
+        assert len(s.blocks) == 2
+
+    def test_fraction_validated(self, smooth3d):
+        with pytest.raises(ValueError, match="fraction"):
+            draw_sample(smooth3d, fraction=0.0, seed=0)
+        with pytest.raises(ValueError, match="fraction"):
+            draw_sample(smooth3d, fraction=1.5, seed=0)
+
+    def test_npy_path_matches_array(self, tmp_path, smooth3d):
+        path = tmp_path / "field.npy"
+        np.save(path, smooth3d)
+        a = draw_sample(smooth3d, fraction=0.1, seed=1)
+        b = draw_sample(path, fraction=0.1, seed=1)
+        assert b.source_kind == "npy"
+        assert a.block_indices == b.block_indices
+        for x, y in zip(a.blocks, b.blocks):
+            np.testing.assert_array_equal(x, y)
+
+    def test_container_sample_carries_features(self, smooth3d):
+        blob = compress_tiled(smooth3d, mode="rel", bound=1e-3)
+        s = draw_sample(blob, fraction=0.2, seed=0)
+        assert s.source_kind == "container"
+        assert s.tile_features is not None
+        assert s.container_info is not None
+        assert s.container_info["mode"] == "rel"
+        # footer features cover every tile, not just the sampled ones
+        assert s.tile_features["n_values"].size == s.n_blocks_total
+
+    def test_scalar_source_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            draw_sample(np.float32(1.0), fraction=0.1, seed=0)
+
+
+class TestAssemblyPlan:
+    @given(st.integers(min_value=1, max_value=200))
+    def test_plan_covers_exactly_k_blocks(self, k):
+        shape = (16, 16, 16)
+        plan = _assembly_plan(k, shape)
+        assert sum(int(np.prod(g, dtype=np.int64)) for g in plan) == k
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_grid_dims_product(self, k, ndim):
+        dims = _grid_dims(k, ndim)
+        assert len(dims) == ndim
+        assert int(np.prod(dims, dtype=np.int64)) == k
+
+    def test_plan_beats_standalone_blocks(self):
+        # The whole point: fewer hyperplane launches than one-per-block.
+        shape = (16, 16, 16)
+        for k in (3, 8, 27, 31):
+            plan = _assembly_plan(k, shape)
+            standalone = [(1, 1, 1)] * k
+            assert _plane_count(plan, shape) < _plane_count(standalone, shape)
+
+
+class TestEstimateAccuracy:
+    @pytest.mark.parametrize("mode,bound", [
+        ("abs", 1e-3), ("rel", 1e-4), ("pw_rel", 1e-3),
+    ])
+    def test_smooth_within_envelope(self, smooth3d, mode, bound):
+        data = smooth3d
+        if mode == "abs":
+            bound = 1e-3 * float(np.ptp(data.astype(np.float64)))
+        cfg = SZConfig.from_kwargs(mode=mode, bound=bound)
+        blob, _ = compress_array(data, cfg)
+        est = estimate(data, cfg, fraction=0.05, seed=0)
+        actual = data.nbytes / len(blob)
+        assert abs(est.ratio / actual - 1.0) <= ENVELOPE
+
+    def test_turbulent_within_envelope(self, turbulent3d):
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        blob, _ = compress_array(turbulent3d, cfg)
+        est = estimate(turbulent3d, cfg, fraction=0.05, seed=0)
+        assert abs(est.ratio / (turbulent3d.nbytes / len(blob)) - 1.0) <= ENVELOPE
+
+    def test_sparse_within_envelope(self):
+        data = sparse_patches(SHAPE, coverage=0.15, seed=9).astype(np.float32)
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        blob, _ = compress_array(data, cfg)
+        est = estimate(data, cfg, fraction=0.05, seed=0)
+        assert abs(est.ratio / (data.nbytes / len(blob)) - 1.0) <= ENVELOPE
+
+    def test_full_fraction_is_near_exact(self, smooth3d):
+        """fraction=1.0 measures every value; only the block-boundary
+        contamination and the table-alphabet proxy separate the model
+        from the real container size."""
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        blob, _ = compress_array(smooth3d, cfg)
+        est = estimate(smooth3d, cfg, fraction=1.0, seed=0)
+        assert abs(est.predicted_bytes / len(blob) - 1.0) <= 0.10
+
+
+class TestEstimateProperties:
+    def test_deterministic(self, smooth3d):
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        a = estimate(smooth3d, cfg, fraction=0.1, seed=5)
+        b = estimate(smooth3d, cfg, fraction=0.1, seed=5)
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("seconds"), db.pop("seconds")
+        assert da == db
+
+    def test_ci_brackets_point_estimate(self, smooth3d):
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        est = estimate(smooth3d, cfg, fraction=0.1, seed=0)
+        assert est.ratio_low <= est.ratio <= est.ratio_high
+        assert est.method == "sampled"
+        assert est.n_blocks >= 2
+
+    def test_max_error_bounded_by_eb(self, smooth3d):
+        eb = 1e-3 * float(np.ptp(smooth3d.astype(np.float64)))
+        cfg = SZConfig.from_kwargs(mode="abs", bound=eb)
+        est = estimate(smooth3d, cfg, fraction=0.1, seed=0)
+        assert est.max_abs_error is not None
+        assert est.max_abs_error <= eb * (1 + 1e-12)
+
+    def test_psnr_mode_reports_quality(self, smooth3d):
+        cfg = SZConfig.from_kwargs(mode="psnr", bound=60.0)
+        est = estimate(smooth3d, cfg, fraction=0.1, seed=0)
+        assert est.psnr is not None and est.psnr > 0
+        assert est.mode == "psnr"
+
+    def test_constant_field_shortcut(self):
+        data = np.full((32, 32, 32), 3.25, dtype=np.float32)
+        cfg = SZConfig.from_kwargs(mode="rel", bound=1e-4)
+        est = estimate(data, cfg)
+        assert est.method == "constant"
+        assert est.ratio > 100.0
+
+    def test_footer_method_is_exact(self, smooth3d):
+        blob = compress_tiled(smooth3d, mode="rel", bound=1e-3)
+        est = estimate(blob)
+        assert est.method == "footer"
+        assert est.ratio == pytest.approx(smooth3d.nbytes / len(blob))
+        assert est.mode == "rel"
+
+    def test_array_without_config_rejected(self, smooth3d):
+        with pytest.raises(ValueError, match="config"):
+            estimate(smooth3d)
+
+    def test_codec_entry_point(self, smooth3d):
+        codec = Codec(SZConfig.from_kwargs(mode="rel", bound=1e-4))
+        est = codec.estimate(smooth3d, fraction=0.1, seed=0)
+        assert est.method == "sampled"
+        assert est.seed == 0
+
+
+class TestMonotonicity:
+    @given(
+        st.tuples(
+            st.floats(min_value=1e-5, max_value=1e-1),
+            st.floats(min_value=1e-5, max_value=1e-1),
+        )
+    )
+    def test_looser_bound_never_hurts_ratio(self, smooth3d, bounds):
+        """The curve the tuner bisection relies on: ratio(bound) is
+        non-decreasing in the bound (rel mode)."""
+        lo, hi = sorted(bounds)
+        cfg = SZConfig.from_kwargs(mode="rel", bound=lo)
+        a = estimate(smooth3d, cfg, fraction=0.05, seed=0)
+        b = estimate(smooth3d, cfg.replace(bound=hi), fraction=0.05, seed=0)
+        assert b.ratio >= a.ratio * (1 - 1e-9)
+
+
+class TestTuner:
+    def test_converges_to_reachable_ratio(self, smooth3d):
+        result = autotune(
+            smooth3d, target_ratio=8.0, fraction=0.1, seed=0, verify=True
+        )
+        assert result.converged
+        assert result.relative_miss <= result.rtol
+        assert result.actual_ratio is not None
+        # the acceptance criterion: land within 10% of the target for real
+        assert abs(result.actual_ratio / 8.0 - 1.0) <= 0.10
+        assert len(result.trials) >= 1
+        assert result.config.error_bound.mode == "rel"
+
+    def test_deterministic_trial_sequence(self, smooth3d):
+        a = autotune(smooth3d, target_ratio=6.0, fraction=0.1, seed=0)
+        b = autotune(smooth3d, target_ratio=6.0, fraction=0.1, seed=0)
+        assert [t.config.bound for t in a.trials] == [
+            t.config.bound for t in b.trials
+        ]
+        assert a.config.bound == b.config.bound
+
+    def test_psnr_target(self, smooth3d):
+        result = autotune(
+            smooth3d,
+            target_psnr=70.0,
+            config=SZConfig.from_kwargs(mode="abs", bound=1e-3),
+            fraction=0.1,
+            seed=0,
+        )
+        assert result.converged
+        assert result.predicted == pytest.approx(70.0, rel=result.rtol)
+
+    def test_exactly_one_target_required(self, smooth3d):
+        with pytest.raises(ValueError, match="exactly one"):
+            autotune(smooth3d)
+        with pytest.raises(ValueError, match="exactly one"):
+            autotune(smooth3d, target_ratio=5.0, target_psnr=60.0)
+
+    def test_container_seeds_search(self, smooth3d):
+        blob = compress_tiled(smooth3d, mode="rel", bound=1e-3)
+        cfg = config_from_container(blob)
+        assert cfg.error_bound.mode == "rel"
+        assert cfg.bound == pytest.approx(1e-3)
+        result = autotune(blob, target_ratio=6.0, fraction=0.2, seed=0)
+        assert result.config.error_bound.mode == "rel"
+
+    def test_trial_log_serializes(self, smooth3d):
+        result = autotune(smooth3d, target_ratio=6.0, fraction=0.1, seed=0)
+        d = result.to_dict()
+        assert d["n_trials"] == len(d["trials"])
+        for t in d["trials"]:
+            assert "bound" in t and "predicted" in t and "config_json" in t

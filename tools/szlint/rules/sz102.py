@@ -40,12 +40,17 @@ __all__ = ["SZ102"]
 #: repro/parallel/ joined the scope when the wavefront pool split landed:
 #: its workers execute the same quantization arithmetic as the serial
 #: kernels, so the determinism contract extends to them unchanged.
+#: repro/tuning/ is in scope because estimates promise determinism too
+#: (same source + fraction + seed => identical prediction): its sampler
+#: must draw from seeded generators and its models must pin reduction
+#: dtypes exactly like the encode path.
 SCOPE = (
     "repro/core/",
     "repro/encoding/",
     "repro/chunked/",
     "repro/obs/",
     "repro/parallel/",
+    "repro/tuning/",
 )
 
 _WALL_CLOCK = {
